@@ -1,0 +1,108 @@
+"""E7 -- string search in the non-key field (Section 5.2, last paragraph).
+
+Paper setup: 8000 records with a 60 B non-key field, a 3 B needle in the
+third-last record, GF(2^16) with the byte-alignment handling.  Paper
+results: 1.516 s total, of which 0.5 s was bucket traversal; the
+byte-XOR Karp-Rabin control took 1.504 s -- i.e. "most of the
+calculation time is spent on memory transfers and very little on Galois
+field arithmetic".
+
+We time the algebraic scan, the byte-XOR control, the classical
+modular Karp-Rabin, and the plain ``in`` scan over the same workload,
+plus the traversal-only baseline, and check the paper's shape: the
+algebraic and XOR scans are close (the GF arithmetic is not the
+bottleneck), and all scanners agree on the hits.
+"""
+
+import time
+
+from repro.search import (
+    build_record_field,
+    scan_naive,
+    scan_with_karp_rabin,
+    scan_with_signatures,
+    scan_with_xor,
+)
+from repro.sig import make_scheme
+
+RECORDS = 8000
+FIELD_BYTES = 60
+NEEDLE = b"zqj"
+NEEDLE_RECORD = RECORDS - 3
+
+FIELDS = build_record_field(RECORDS, FIELD_BYTES, NEEDLE, NEEDLE_RECORD,
+                            seed=2004)
+SCHEME = make_scheme(f=16, n=2)
+
+
+def traversal_only():
+    """Touch every record without any signature work (the 0.5 s leg)."""
+    total = 0
+    for value in FIELDS:
+        total += len(value)
+    return total
+
+
+def test_algebraic_scan(benchmark):
+    result = benchmark(scan_with_signatures, SCHEME, FIELDS, NEEDLE)
+    assert NEEDLE_RECORD in result.record_indices
+
+
+def test_xor_scan(benchmark):
+    result = benchmark(scan_with_xor, FIELDS, NEEDLE)
+    assert NEEDLE_RECORD in result.record_indices
+
+
+def test_naive_scan(benchmark):
+    result = benchmark(scan_naive, FIELDS, NEEDLE)
+    assert NEEDLE_RECORD in result.record_indices
+
+
+def _once(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - start, out
+
+
+def test_e7_report(benchmark, report_table):
+    benchmark.pedantic(traversal_only, rounds=3)
+
+    t_traverse, _ = min(_once(traversal_only) for _ in range(3))
+    t_algebraic, algebraic = min(
+        (_once(scan_with_signatures, SCHEME, FIELDS, NEEDLE) for _ in range(3)),
+        key=lambda pair: pair[0],
+    )
+    t_xor, xor = min((_once(scan_with_xor, FIELDS, NEEDLE) for _ in range(3)),
+                     key=lambda pair: pair[0])
+    t_kr, kr = _once(scan_with_karp_rabin, FIELDS, NEEDLE)
+    t_naive, naive = min((_once(scan_naive, FIELDS, NEEDLE) for _ in range(3)),
+                         key=lambda pair: pair[0])
+
+    mb = RECORDS * FIELD_BYTES / (1 << 20)
+    rows = [
+        ["bucket traversal only", round(t_traverse, 4), "-",
+         "0.5 s (of 1.516 s)"],
+        ["algebraic signature scan", round(t_algebraic, 4),
+         round((t_algebraic - t_traverse) / mb, 3), "1.516 s total"],
+        ["byte-XOR KR control", round(t_xor, 4),
+         round((t_xor - t_traverse) / mb, 3), "1.504 s total"],
+        ["modular Karp-Rabin (scalar)", round(t_kr, 4), "-", "-"],
+        ["naive 'in' scan", round(t_naive, 4), "-", "-"],
+    ]
+    report_table(
+        "E7: search 3 B needle in 8000 x 60 B records (seconds)",
+        ["scanner", "seconds", "s/MB beyond traversal", "paper"],
+        rows,
+        notes=f"algebraic/XOR ratio: {t_algebraic / t_xor:.2f}x "
+              "(paper: 1.516/1.504 = 1.01x -- GF arithmetic is not the "
+              "bottleneck); all scanners agree on "
+              f"{len(naive.record_indices)} hits",
+    )
+    # Shape and correctness checks.
+    assert algebraic.record_indices == naive.record_indices
+    assert xor.record_indices == naive.record_indices
+    assert kr.record_indices == naive.record_indices
+    # The algebraic scan is within a small factor of the XOR control
+    # (the paper found them nearly identical; our XOR path does less
+    # per-record work, so allow headroom).
+    assert t_algebraic < 6 * t_xor

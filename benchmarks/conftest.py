@@ -1,0 +1,41 @@
+"""Benchmark-harness plumbing: collect result tables, print them at the end.
+
+Each E* benchmark registers the rows/series the paper reports through
+:func:`report`; pytest's terminal summary then prints every table after
+the pytest-benchmark timing output, so ``pytest benchmarks/
+--benchmark-only`` yields both wall-clock numbers and the paper-shaped
+tables in one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+_TABLES: list[str] = []
+
+
+def report(title: str, headers, rows, notes: str | None = None) -> None:
+    """Register one experiment table for the end-of-run summary."""
+    text = format_table(headers, rows, title=title)
+    if notes:
+        text += f"\n  {notes}"
+    _TABLES.append(text)
+
+
+@pytest.fixture(scope="session")
+def report_table():
+    """Fixture handle for the table registry."""
+    return report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""SDDS bucket backup through a signature map (paper Section 2.1).
+
+Builds an LH* file, lets it grow through splits, and backs the buckets
+up to a simulated disk.  Shows the three backup regimes:
+
+* the initial full pass (everything written),
+* a quiet pass (nothing written -- every page signature matches the map),
+* an incremental pass after scattered record updates (only the touched
+  pages written), with the signature-tree change localization and the
+  dirty-bit baseline for comparison.
+
+Run:  python examples/bucket_backup.py
+"""
+
+import random
+
+from repro import make_scheme
+from repro.backup import BackupEngine, DirtyBitBackupEngine, DirtyBitTracker
+from repro.sdds import LHFile, Record
+from repro.sim import DiskModel, SimDisk
+from repro.workloads import make_records
+
+PAGE_BYTES = 1024
+
+
+def report_line(label, report):
+    print(f"  {label:<26} pages {report.pages_written:>4}/{report.pages_total:<4} "
+          f"bytes {report.bytes_written:>8,}  "
+          f"sig {report.sig_seconds * 1e3:7.2f} ms  "
+          f"write {report.write_seconds * 1e3:8.2f} ms")
+
+
+def main() -> None:
+    scheme = make_scheme()  # GF(2^16), n=2
+    file = LHFile(scheme, capacity_records=96)
+    client = file.client()
+
+    print("Loading 400 records of 120 B into an LH* file...")
+    records = make_records(400, 120, seed=42)
+    for record in records:
+        client.insert(record)
+    print(f"  file grew to {file.bucket_count} buckets "
+          f"({file.splits_performed} splits)\n")
+
+    disk = SimDisk(file.network.clock, model=DiskModel(seek_time=1e-3))
+    engine = BackupEngine(scheme, disk, page_bytes=PAGE_BYTES, use_tree=True)
+
+    print("Initial backup (cold disk -- every page written):")
+    for server in file.servers:
+        report = engine.backup(f"bucket{server.server_id}", server.bucket.image)
+        report_line(f"bucket {server.server_id}", report)
+
+    print("\nSecond pass with no changes (signature map filters everything):")
+    total_written = 0
+    for server in file.servers:
+        report = engine.backup(f"bucket{server.server_id}", server.bucket.image)
+        total_written += report.pages_written
+    print(f"  pages written across all buckets: {total_written}")
+
+    print("\nUpdating 8 scattered records, then an incremental pass:")
+    rng = random.Random(7)
+    for record in rng.sample(records, 8):
+        client.update_blind(record.key, b"fresh-content!" + b"~" * 106)
+    for server in file.servers:
+        report = engine.backup(f"bucket{server.server_id}", server.bucket.image)
+        if report.pages_written:
+            report_line(f"bucket {server.server_id}", report)
+            print(f"    tree localized the change in "
+                  f"{report.tree_comparisons} node comparisons "
+                  f"(vs {report.pages_total} flat)")
+
+    print("\nRestore check:")
+    for server in file.servers:
+        image = bytes(server.bucket.image)
+        restored = engine.restore(f"bucket{server.server_id}")
+        assert restored[:len(image)] == image
+    print("  every restored bucket byte-matches its RAM image")
+
+    print("\nDirty-bit baseline on one bucket "
+          "(needs write hooks; copies same-value writes too):")
+    bucket = file.server(0).bucket
+    tracker = DirtyBitTracker(bucket.heap, PAGE_BYTES)
+    baseline = DirtyBitBackupEngine(tracker, SimDisk(file.network.clock))
+    first = baseline.backup("db0", bucket.image)
+    report_line("dirty-bit initial", first)
+    key = next(iter(bucket.keys()))
+    value = bucket.get(key).value
+    bucket.update(key, value)  # rewrite identical bytes
+    second = baseline.backup("db0", bucket.image)
+    sig_report = engine.backup("bucket0", bucket.image)
+    print(f"  after a same-value rewrite: dirty-bit writes "
+          f"{second.pages_written} page(s); the signature map writes "
+          f"{sig_report.pages_written} -- signatures see *content*, "
+          f"dirty bits see *writes*")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""LH*RS-style parity with signature consistency audits (Section 6.2).
+
+Three data buckets form a reliability group with two Reed-Solomon
+parity buckets over the same GF(2^16) the signatures use.  The demo
+shows the three capabilities the paper connects:
+
+* record updates propagate to parity servers as coefficient-scaled
+  deltas (the parity server never sees the record);
+* the *algebraic relation* sig(parity) = sum c_j * sig(data_j) lets the
+  group audit data/parity consistency by exchanging 4-byte signatures
+  only;
+* any two lost buckets reconstruct exactly.
+
+Run:  python examples/parity_audit.py
+"""
+
+import numpy as np
+
+from repro import make_scheme
+from repro.gf.vectorized import symbols_to_bytes
+from repro.parity import LHRSStore, ReliabilityGroup, combine_signatures
+
+DATA_BUCKETS = 3
+PARITY_BUCKETS = 2
+RECORD_BYTES = 256
+
+
+def main() -> None:
+    scheme = make_scheme()
+    group = ReliabilityGroup(scheme, DATA_BUCKETS, PARITY_BUCKETS, RECORD_BYTES)
+    rng = np.random.default_rng(1)
+
+    print(f"Reliability group: {DATA_BUCKETS} data + {PARITY_BUCKETS} parity "
+          f"buckets, {RECORD_BYTES} B records, GF(2^16) Cauchy code\n")
+
+    print("Writing records at ranks 0..4 (parity updated via deltas)...")
+    originals = {}
+    for rank in range(5):
+        for shard in range(DATA_BUCKETS):
+            value = bytes(rng.integers(0, 256, RECORD_BYTES, dtype=np.uint8))
+            group.put(rank, shard, value)
+            originals[(rank, shard)] = value
+
+    print("Auditing consistency by signature exchange:")
+    for rank in range(5):
+        data_sigs = [scheme.sign(group._data[rank][s])
+                     for s in range(DATA_BUCKETS)]
+        expected = combine_signatures(
+            scheme, data_sigs, group.code.parity_rows[0]
+        )
+        print(f"  rank {rank}: data sigs "
+              f"{[s.hex() for s in data_sigs]} -> expected parity sig "
+              f"{expected.hex()}  audit={'OK' if group.audit(rank) else 'FAIL'}")
+        assert group.audit(rank)
+
+    print("\nInjecting a missed update at a parity server (rank 2)...")
+    group.corrupt_parity(2, parity_index=1, symbol=40)
+    print(f"  audit(rank 2) -> {'OK' if group.audit(2) else 'FAIL'} "
+          f"(a 4-byte exchange caught it)")
+    assert not group.audit(2)
+    group.corrupt_parity(2, parity_index=1, symbol=40)  # repair (XOR undo)
+    assert group.audit(2)
+
+    print("\nLosing data bucket 0 AND parity bucket 3, then reconstructing:")
+    for rank in range(5):
+        recovered = group.reconstruct(rank, lost_shards={0, 3})
+        for shard in range(DATA_BUCKETS):
+            assert symbols_to_bytes(recovered[shard], scheme.field) == \
+                originals[(rank, shard)]
+    print("  every record of every rank recovered byte-exactly")
+
+    print("\nThe same machinery as a live LH*RS store (keys included):")
+    store = LHRSStore(scheme, 3, 2, record_bytes=64)
+    for key in range(12):
+        store.insert(key, b"record-%02d" % key)
+    store.update(4, b"record-04-revised")
+    store.delete(7)
+    assert store.audit() == []
+    store.fail_bucket(1)
+    restored = store.recover()
+    print(f"  bucket 1 failed and recovered: {restored} records restored,")
+    print(f"  keys intact: {store.keys()}")
+    assert store.get(4) == b"record-04-revised"
+    assert 7 not in store
+
+    print("\nThe same relation applies to RAID-5 parity blocks [XMLBLS03]:")
+    print("  parity servers verify they saw the same updates as data")
+    print("  servers without ever shipping the records themselves.")
+
+
+if __name__ == "__main__":
+    main()

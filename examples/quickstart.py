@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: algebraic signatures in five minutes.
+
+Walks through the core API: building the paper's production scheme
+(GF(2^16), n = 2 -- 4-byte signatures), signing data, the certainty
+guarantee for small changes, and the signature algebra (Propositions 3
+and 5) that separates algebraic signatures from SHA-1/MD5.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import make_scheme
+from repro.baselines import sha1
+from repro.sig import apply_update, concat
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build the paper's scheme and sign something.
+    # ------------------------------------------------------------------
+    scheme = make_scheme()  # GF(2^16), n=2: the configuration in SDDS-2000
+    record = b"employee=4711;name=smith;salary=01000;dept=sales;notes=" + b"." * 44
+    signature = scheme.sign(record)
+    print(f"record ({len(record)} B)       -> signature {signature} "
+          f"({scheme.signature_bytes} B)")
+    print(f"same record again      -> {scheme.sign(record)} (deterministic)")
+    print(f"SHA-1 of the same data -> {sha1(record).hex()} (20 B)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The headline guarantee: ANY change of up to n symbols is
+    #    detected with certainty (Proposition 1) -- not just with high
+    #    probability like SHA-1.
+    # ------------------------------------------------------------------
+    changed = bytearray(record)
+    changed[20] ^= 0x01  # flip a single bit
+    print(f"1-bit change           -> {scheme.sign(bytes(changed))} (differs, guaranteed)")
+
+    rng = np.random.default_rng(0)
+    collisions = 0
+    for _ in range(10_000):
+        mutated = bytearray(record)
+        position = int(rng.integers(0, len(mutated)))
+        mutated[position] ^= int(rng.integers(1, 256))
+        if scheme.sign(bytes(mutated)) == signature:
+            collisions += 1
+    print(f"10,000 random 1-byte changes -> {collisions} collisions "
+          f"(Proposition 1: always 0)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Proposition 3: re-sign after a small update WITHOUT rescanning.
+    #    A typical database update touches one attribute; the new
+    #    signature costs O(|attribute|), not O(|record|).
+    # ------------------------------------------------------------------
+    offset = record.index(b"01000")
+    new_salary = b"01500"
+    updated = record[:offset] + new_salary + record[offset + 5:]
+    # GF(2^16): byte offset -> symbol offset (the field is 2 B/symbol).
+    # Note: this demo keeps the attribute symbol-aligned; pad otherwise.
+    aligned = offset - (offset % 2)
+    incremental = apply_update(
+        scheme,
+        signature,
+        record[aligned:aligned + 6],
+        updated[aligned:aligned + 6],
+        aligned // 2,
+    )
+    print(f"salary update via Prop 3      -> {incremental}")
+    print(f"full rescan of updated record -> {scheme.sign(updated)}")
+    assert incremental == scheme.sign(updated)
+    print("identical -- the delta calculus works (try that with SHA-1)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Proposition 5: the signature of a concatenation, from the parts.
+    #    This is what makes signature maps and signature trees algebraic.
+    # ------------------------------------------------------------------
+    first_half, second_half = record[:32], record[32:]
+    combined = concat(
+        scheme,
+        scheme.sign(first_half), len(first_half) // 2,
+        scheme.sign(second_half),
+    )
+    assert combined == signature
+    print(f"sig(P1|P2) from sig(P1), sig(P2) -> {combined} (Proposition 5)")
+    print()
+    print("Next: examples/bucket_backup.py, examples/concurrent_updates.py,")
+    print("      examples/distributed_search.py, examples/parity_audit.py")
+
+
+if __name__ == "__main__":
+    main()

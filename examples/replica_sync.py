@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Reconciling remote file replicas by signature exchange.
+
+The algebraic signature's original habitat (paper Section 1): detecting
+"discrepancies among replicas of files" cheaply across a network.  Two
+nodes hold copies of a 1 MB file that diverged in three scattered
+places; they reconcile by exchanging signatures, never the unchanged
+megabyte:
+
+* the *map exchange* ships one 4-byte signature per 1 KB page;
+* the *tree probe* walks the algebraic signature tree (Proposition 5)
+  level by level, touching only the differing branches.
+
+Run:  python examples/replica_sync.py
+"""
+
+from repro import make_scheme
+from repro.sim import SimNetwork
+from repro.sync import Replica, sync_by_map, sync_by_tree
+from repro.workloads import make_page
+
+FILE_BYTES = 1 << 20
+PAGE_BYTES = 1024
+
+
+def diverged_pair(scheme, seed=11):
+    base = make_page("random", FILE_BYTES, seed=seed)
+    stale = bytearray(base)
+    for position in (12_345, 480_000, 1_000_000):
+        stale[position] ^= 0x42
+    return (Replica("primary", scheme, base, PAGE_BYTES),
+            Replica("mirror", scheme, bytes(stale), PAGE_BYTES))
+
+
+def show(label, report, network):
+    print(f"  {label}:")
+    print(f"    pages shipped:      {report.pages_shipped}/{report.pages_total}")
+    print(f"    signature traffic:  {report.signature_bytes:,} B")
+    print(f"    data traffic:       {report.data_bytes:,} B")
+    print(f"    round trips:        {report.rounds}")
+    print(f"    total on the wire:  {network.stats.bytes:,} B "
+          f"(vs {FILE_BYTES:,} B to recopy the file)")
+
+
+def main() -> None:
+    scheme = make_scheme()
+    print(f"Two replicas of a {FILE_BYTES >> 20} MB file, "
+          f"3 bytes changed on the primary\n")
+
+    source, target = diverged_pair(scheme)
+    network = SimNetwork()
+    report = sync_by_map(source, target, network)
+    assert bytes(target.data) == bytes(source.data)
+    show("map exchange (one 4 B signature per page)", report, network)
+    print()
+
+    source, target = diverged_pair(scheme)
+    network = SimNetwork()
+    report = sync_by_tree(source, target, network)
+    assert bytes(target.data) == bytes(source.data)
+    show("tree probe (Metzner-style hierarchical walk)", report, network)
+    print()
+    print("The tree trades round trips for signature bandwidth -- the")
+    print("right choice when few pages changed in a very large file.")
+
+
+if __name__ == "__main__":
+    main()

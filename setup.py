@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Everything is declared in pyproject.toml; this file only enables
+``python setup.py develop`` on offline machines whose pip cannot build
+PEP-660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

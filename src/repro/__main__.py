@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``        -- version, configuration, and paper identification
+* ``selftest``    -- run the full unit/property/integration test suite
+* ``bench``       -- run the benchmark harness (E1..E10, X1, X2) and
+                     print the paper-reproduction tables
+* ``examples``    -- run every example script in sequence
+* ``recommend <page_bytes>`` -- print the scheme the Section 5.2
+                     reasoning picks for that page size
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+
+def _info() -> int:
+    import repro
+    from repro import make_scheme
+
+    scheme = make_scheme()
+    print(f"repro {repro.__version__} -- Algebraic Signatures for SDDS "
+          "(Litwin & Schwarz, ICDE 2004)")
+    print(f"default scheme: GF(2^{scheme.field.f}), n={scheme.n}, "
+          f"{scheme.signature_bytes}-byte signatures, "
+          f"generator {scheme.field.generator:#x}")
+    print(f"certainty bound: {scheme.max_page_symbols} symbols "
+          f"({scheme.max_page_symbols * 2 // 1024} KiB pages)")
+    print("see DESIGN.md for the system inventory and EXPERIMENTS.md for")
+    print("paper-vs-measured results")
+    return 0
+
+
+def _selftest() -> int:
+    import pytest
+
+    return pytest.main(["tests/", "-q"])
+
+
+def _bench() -> int:
+    import pytest
+
+    return pytest.main(["benchmarks/", "--benchmark-only"])
+
+
+def _examples() -> int:
+    examples_dir = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    if not examples_dir.is_dir():
+        print("examples/ directory not found next to src/", file=sys.stderr)
+        return 1
+    for script in sorted(examples_dir.glob("*.py")):
+        print(f"\n===== {script.name} =====")
+        result = subprocess.run([sys.executable, str(script)])
+        if result.returncode != 0:
+            return result.returncode
+    return 0
+
+
+def _recommend(arguments: list[str]) -> int:
+    from repro.analysis import expected_collision_interval_years, recommend_scheme
+
+    if not arguments:
+        print("usage: python -m repro recommend <page_bytes>", file=sys.stderr)
+        return 2
+    page_bytes = int(arguments[0])
+    recommendation = recommend_scheme(page_bytes)
+    scheme = recommendation.build()
+    years = expected_collision_interval_years(scheme, 1.0)
+    print(f"pages of {page_bytes} bytes -> GF(2^{recommendation.f}), "
+          f"n={recommendation.n}")
+    print(f"  signature size:        {recommendation.signature_bytes} bytes")
+    print(f"  collision probability: 2^-{recommendation.n * recommendation.f}")
+    print(f"  certain detection of:  any <= {recommendation.n}-symbol change")
+    print(f"  at 1 comparison/s:     one expected collision per "
+          f"{years:,.0f} years")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch a CLI command; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    command = argv[0] if argv else "info"
+    handlers = {
+        "info": lambda: _info(),
+        "selftest": lambda: _selftest(),
+        "bench": lambda: _bench(),
+        "examples": lambda: _examples(),
+        "recommend": lambda: _recommend(argv[1:]),
+    }
+    if command not in handlers:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return handlers[command]()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Experiment analysis: collision measurements (Propositions 1/2/4),
+the Section 5.2 scheme recommender, and report tables."""
+
+from .collisions import (
+    CollisionReport,
+    prop1_exhaustive,
+    prop1_sampled,
+    prop2_random_pairs,
+    prop4_adversarial_switches,
+    prop4_switches,
+    sha1_small_change_detection,
+)
+from .design import (
+    SchemeRecommendation,
+    expected_collision_interval_seconds,
+    expected_collision_interval_years,
+    recommend_scheme,
+)
+from .tables import format_table, print_table, ratio
+
+__all__ = [
+    "CollisionReport",
+    "prop1_exhaustive",
+    "prop1_sampled",
+    "prop2_random_pairs",
+    "prop4_switches",
+    "prop4_adversarial_switches",
+    "sha1_small_change_detection",
+    "SchemeRecommendation",
+    "recommend_scheme",
+    "expected_collision_interval_seconds",
+    "expected_collision_interval_years",
+    "format_table",
+    "print_table",
+    "ratio",
+]

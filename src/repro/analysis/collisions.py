@@ -1,0 +1,213 @@
+"""Collision experiments: empirical checks of Propositions 1, 2 and 4.
+
+Measuring a 2^-32 collision rate head-on is hopeless, so -- as the
+repository supports every GF(2^f) down to f = 2 -- the E8 experiments
+run in *small* fields where the predicted rates (2^-nf) are observable
+in a few hundred thousand trials, and verify the certainty claims
+exhaustively where feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sig.scheme import AlgebraicSignatureScheme
+
+
+@dataclass(frozen=True, slots=True)
+class CollisionReport:
+    """Outcome of a collision experiment."""
+
+    trials: int
+    collisions: int
+    predicted_rate: float
+
+    @property
+    def observed_rate(self) -> float:
+        """Fraction of trials that collided."""
+        return self.collisions / self.trials if self.trials else 0.0
+
+
+def prop1_exhaustive(scheme: AlgebraicSignatureScheme, page_symbols: int) -> CollisionReport:
+    """Exhaustively verify certain detection of <= n symbol changes.
+
+    For every position subset of size <= n and every non-zero delta
+    combination, the changed page must sign differently.  Only feasible
+    in small fields; the count of checked alterations is returned as
+    ``trials`` and ``collisions`` must come back 0.
+    """
+    field = scheme.field
+    if field.size ** min(scheme.n, 3) > 1 << 22:
+        raise ReproError("field too large for exhaustive Proposition 1 check")
+    if page_symbols > scheme.max_page_symbols:
+        raise ReproError("page exceeds the certainty bound")
+    rng = np.random.default_rng(12345)
+    page = rng.integers(0, field.size, page_symbols).astype(np.int64)
+    base_sig = scheme.sign(page)
+    trials = 0
+    collisions = 0
+    non_zero = range(1, field.size)
+    for change_size in range(1, scheme.n + 1):
+        for positions in combinations(range(page_symbols), change_size):
+            for deltas in product(non_zero, repeat=change_size):
+                altered = page.copy()
+                for position, delta in zip(positions, deltas):
+                    altered[position] ^= delta
+                trials += 1
+                if scheme.sign(altered) == base_sig:
+                    collisions += 1
+    return CollisionReport(trials, collisions, predicted_rate=0.0)
+
+
+def prop1_sampled(scheme: AlgebraicSignatureScheme, page_symbols: int,
+                  trials: int, seed: int = 0) -> CollisionReport:
+    """Randomized Proposition 1 check for larger fields.
+
+    Random pages, random <= n-symbol changes: zero collisions expected,
+    with certainty, every time.
+    """
+    field = scheme.field
+    rng = np.random.default_rng(seed)
+    collisions = 0
+    for _trial in range(trials):
+        page = rng.integers(0, field.size, page_symbols).astype(np.int64)
+        base_sig = scheme.sign(page)
+        change_size = int(rng.integers(1, scheme.n + 1))
+        positions = rng.choice(page_symbols, size=change_size, replace=False)
+        altered = page.copy()
+        for position in positions:
+            altered[position] ^= int(rng.integers(1, field.size))
+        if scheme.sign(altered) == base_sig:
+            collisions += 1
+    return CollisionReport(trials, collisions, predicted_rate=0.0)
+
+
+def prop2_random_pairs(scheme: AlgebraicSignatureScheme, page_symbols: int,
+                       trials: int, seed: int = 0) -> CollisionReport:
+    """Collision rate of two random distinct pages: predicted 2^-nf.
+
+    Vectorized: draws all trial pages at once and compares component
+    signatures; distinct-page pairs whose signatures coincide count as
+    collisions.
+    """
+    field = scheme.field
+    rng = np.random.default_rng(seed)
+    predicted = 2.0 ** (-scheme.n * field.f)
+    collisions = 0
+    effective = 0
+    for _trial in range(trials):
+        first = rng.integers(0, field.size, page_symbols).astype(np.int64)
+        second = rng.integers(0, field.size, page_symbols).astype(np.int64)
+        if np.array_equal(first, second):
+            continue
+        effective += 1
+        if scheme.sign(first) == scheme.sign(second):
+            collisions += 1
+    return CollisionReport(effective, collisions, predicted)
+
+
+def prop4_switches(scheme: AlgebraicSignatureScheme, page_symbols: int,
+                   block_symbols: int, trials: int, seed: int = 0) -> CollisionReport:
+    """Collision rate of cut-and-paste operations: predicted 2^-nf.
+
+    Random pages; a random block is moved to a random other position
+    (skipping no-op moves).  With an all-primitive base (sig', or sig
+    with n <= 2) the collision probability is 2^-nf (Proposition 4).
+    """
+    if block_symbols >= page_symbols:
+        raise ReproError("block must be shorter than the page")
+    field = scheme.field
+    rng = np.random.default_rng(seed)
+    predicted = 2.0 ** (-scheme.n * field.f)
+    collisions = 0
+    effective = 0
+    for _trial in range(trials):
+        page = rng.integers(0, field.size, page_symbols).astype(np.int64)
+        source = int(rng.integers(0, page_symbols - block_symbols + 1))
+        block = page[source:source + block_symbols]
+        rest = np.concatenate([page[:source], page[source + block_symbols:]])
+        destination = int(rng.integers(0, rest.size + 1))
+        switched = np.concatenate([rest[:destination], block, rest[destination:]])
+        if np.array_equal(switched, page):
+            continue
+        effective += 1
+        if scheme.sign(switched) == scheme.sign(page):
+            collisions += 1
+    return CollisionReport(effective, collisions, predicted)
+
+
+def prop4_adversarial_switches(scheme: AlgebraicSignatureScheme,
+                               page_symbols: int, block_symbols: int,
+                               move_distance: int, trials: int,
+                               seed: int = 0) -> CollisionReport:
+    """Cut-and-paste with a *fixed* block length and forward move distance.
+
+    This is the experiment behind the paper's preference for sig' when
+    n > 2: the switch changes the signature by terms proportional to
+    ``(1 + alpha_i^{s-r})`` and ``(1 + alpha_i^t)`` (Proposition 4's
+    proof).  If some base coordinate ``alpha_i`` is *not* primitive and
+    both the move distance ``s - r`` and the block length ``t`` are
+    multiples of ``ord(alpha_i)``, component ``i`` is blind to the
+    switch and the collision probability degrades from 2^-nf to
+    2^-(n-1)f.  With an all-primitive base (sig') no distance below
+    2^f - 1 can do this.
+
+    The predicted rate reported is the *degraded* bound when the
+    scheme's base contains a coordinate whose order divides both
+    parameters, else 2^-nf.
+    """
+    field = scheme.field
+    if block_symbols + move_distance > page_symbols:
+        raise ReproError("block plus move distance must fit in the page")
+    blind = sum(
+        1 for beta in scheme.base.betas
+        if move_distance % field.element_order(beta) == 0
+        and block_symbols % field.element_order(beta) == 0
+    )
+    predicted = 2.0 ** (-(scheme.n - blind) * field.f)
+    rng = np.random.default_rng(seed)
+    collisions = 0
+    effective = 0
+    for _trial in range(trials):
+        page = rng.integers(0, field.size, page_symbols).astype(np.int64)
+        source = int(rng.integers(
+            0, page_symbols - block_symbols - move_distance + 1
+        ))
+        destination = source + move_distance
+        block = page[source:source + block_symbols]
+        rest = np.concatenate([page[:source], page[source + block_symbols:]])
+        switched = np.concatenate(
+            [rest[:destination], block, rest[destination:]]
+        )
+        if np.array_equal(switched, page):
+            continue
+        effective += 1
+        if scheme.sign(switched) == scheme.sign(page):
+            collisions += 1
+    return CollisionReport(effective, collisions, predicted)
+
+
+def sha1_small_change_detection(trials: int, page_bytes: int, seed: int = 0) -> CollisionReport:
+    """Control: SHA-1 also detects small changes -- but only probabilistically.
+
+    The paper notes cryptographic hashes "do not guarantee a change in
+    signature for very small changes"; empirically collisions are
+    unobservably rare for both, so this experiment documents that the
+    *guarantee* (not the observed rate) is what separates the schemes.
+    """
+    from ..baselines.sha1 import sha1
+
+    rng = np.random.default_rng(seed)
+    collisions = 0
+    for _trial in range(trials):
+        page = bytearray(rng.integers(0, 256, page_bytes, dtype=np.uint8).tobytes())
+        digest = sha1(bytes(page))
+        position = int(rng.integers(0, page_bytes))
+        page[position] ^= int(rng.integers(1, 256))
+        if sha1(bytes(page)) == digest:
+            collisions += 1
+    return CollisionReport(trials, collisions, predicted_rate=2.0 ** -160)

@@ -1,0 +1,95 @@
+"""Scheme-design helpers: pick (f, n, page size) from requirements.
+
+Section 5.2 walks through the paper's own configuration reasoning:
+bytes force f in {8, 16}; the page must respect the l < 2^f - 1 bound;
+the collision probability is 2^-nf; 4 bytes of signature made a 2^-32
+risk ("a collision every 135 years at one backup a second") acceptable.
+These helpers make that reasoning callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..sig.scheme import AlgebraicSignatureScheme, make_scheme
+
+#: Seconds per (Julian) year, for expectation arithmetic.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeRecommendation:
+    """A concrete configuration satisfying the stated requirements."""
+
+    f: int
+    n: int
+    page_bytes: int
+    signature_bytes: int
+    collision_probability: float
+    guaranteed_change_symbols: int
+
+    def build(self) -> AlgebraicSignatureScheme:
+        """Instantiate the recommended scheme."""
+        return make_scheme(f=self.f, n=self.n)
+
+
+def recommend_scheme(page_bytes: int,
+                     max_collision_probability: float = 2.0 ** -32,
+                     min_guaranteed_symbols: int = 2) -> SchemeRecommendation:
+    """Choose the smallest adequate (f, n) for byte data.
+
+    Follows the paper's constraints in order: symbols must be bytes or
+    double-bytes (cache-resident tables), the page must fit the
+    Proposition-1 bound ``l <= 2^f - 2`` symbols, ``n`` must give both
+    the certainty width and the collision budget ``2^-nf``.
+    """
+    if page_bytes <= 0:
+        raise ReproError("page size must be positive")
+    if not 0.0 < max_collision_probability < 1.0:
+        raise ReproError("collision budget must be in (0, 1)")
+    if min_guaranteed_symbols < 1:
+        raise ReproError("need a guarantee width of at least one symbol")
+    for f in (8, 16):
+        symbol_bytes = f // 8
+        symbols = (page_bytes + symbol_bytes - 1) // symbol_bytes
+        if symbols > (1 << f) - 2:
+            continue  # page too long for this field's certainty bound
+        n = max(min_guaranteed_symbols, 1)
+        while 2.0 ** (-n * f) > max_collision_probability:
+            n += 1
+        if n >= (1 << f) - 1:
+            continue
+        return SchemeRecommendation(
+            f=f,
+            n=n,
+            page_bytes=page_bytes,
+            signature_bytes=n * symbol_bytes,
+            collision_probability=2.0 ** (-n * f),
+            guaranteed_change_symbols=n,
+        )
+    raise ReproError(
+        f"no byte-symbol field covers {page_bytes}-byte pages; "
+        "slice the data into smaller pages (SignatureMap)"
+    )
+
+
+def expected_collision_interval_seconds(scheme: AlgebraicSignatureScheme,
+                                        comparisons_per_second: float) -> float:
+    """Expected seconds until the first collision at a comparison rate.
+
+    The paper's deployment arithmetic: 2^-32 per comparison at one
+    backup per second gives one expected collision in about 135 years.
+    """
+    if comparisons_per_second <= 0:
+        raise ReproError("comparison rate must be positive")
+    probability = 2.0 ** (-scheme.n * scheme.field.f)
+    return 1.0 / (probability * comparisons_per_second)
+
+
+def expected_collision_interval_years(scheme: AlgebraicSignatureScheme,
+                                      comparisons_per_second: float) -> float:
+    """:func:`expected_collision_interval_seconds` in years."""
+    return expected_collision_interval_seconds(
+        scheme, comparisons_per_second
+    ) / SECONDS_PER_YEAR

@@ -1,0 +1,49 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every E* benchmark prints the rows/series the paper reports through
+these helpers, so EXPERIMENTS.md and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str | None = None) -> None:
+    """Print an aligned table (bench harness entry point)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio for speedup columns."""
+    return numerator / denominator if denominator else float("inf")

@@ -1,0 +1,31 @@
+"""Baseline signature schemes the paper compares against.
+
+Everything here is implemented from scratch (no hashlib in the library
+code) and validated against the standard library in the test suite:
+
+* :mod:`sha1` -- FIPS 180-1 SHA-1 (20-byte digests, the E2 comparator).
+* :mod:`md5`  -- RFC 1321 MD5 (16-byte digests).
+* :mod:`crc`  -- table-driven CRC-16/CRC-32.
+* :mod:`karp_rabin` -- classical integer-modulus Karp-Rabin fingerprints
+  and the byte-XOR search control of Section 5.2.
+"""
+
+from .sha1 import SHA1, sha1
+from .md5 import MD5, md5
+from .crc import CRC, CRC16, CRC32, crc16, crc32
+from .karp_rabin import KarpRabinFingerprint, xor_fold, xor_fold_search
+
+__all__ = [
+    "SHA1",
+    "sha1",
+    "MD5",
+    "md5",
+    "CRC",
+    "CRC16",
+    "CRC32",
+    "crc16",
+    "crc32",
+    "KarpRabinFingerprint",
+    "xor_fold",
+    "xor_fold_search",
+]

@@ -1,0 +1,69 @@
+"""From-scratch CRC signatures (table-driven), a classical comparator.
+
+The paper lists CRC signatures among the known schemes (Section 1).  A
+CRC is itself Galois-field flavoured -- the remainder of the message
+polynomial modulo a generator -- but unlike the algebraic signature it
+has no certain-detection-of-n-symbol-changes guarantee and no useful
+concatenation algebra at the application level.
+
+CRC-32 here is the reflected IEEE 802.3 polynomial (identical output to
+``binascii.crc32``, asserted in tests); CRC-16 is CRC-16/ARC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build_reflected_table(polynomial: int, width: int) -> np.ndarray:
+    """Byte-at-a-time table for a reflected CRC of the given bit width."""
+    table = np.zeros(256, dtype=np.uint64)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ polynomial
+            else:
+                crc >>= 1
+        table[byte] = crc
+    return table
+
+
+class CRC:
+    """A table-driven reflected CRC with configurable parameters."""
+
+    def __init__(self, polynomial: int, width: int, init: int, xor_out: int):
+        self.width = width
+        self.init = init
+        self.xor_out = xor_out
+        self._mask = (1 << width) - 1
+        self._table = _build_reflected_table(polynomial, width)
+
+    def compute(self, data: bytes, state: int | None = None) -> int:
+        """CRC of ``data`` (optionally continuing from a previous state)."""
+        crc = self.init if state is None else state
+        table = self._table
+        for byte in data:
+            crc = (crc >> 8) ^ int(table[(crc ^ byte) & 0xFF])
+        return (crc ^ self.xor_out) & self._mask
+
+    def digest(self, data: bytes) -> bytes:
+        """CRC as little-endian bytes of the natural width."""
+        return self.compute(data).to_bytes((self.width + 7) // 8, "little")
+
+
+#: CRC-32 (IEEE 802.3, reflected) -- matches ``binascii.crc32``.
+CRC32 = CRC(polynomial=0xEDB88320, width=32, init=0xFFFFFFFF, xor_out=0xFFFFFFFF)
+
+#: CRC-16/ARC (reflected 0x8005).
+CRC16 = CRC(polynomial=0xA001, width=16, init=0x0000, xor_out=0x0000)
+
+
+def crc32(data: bytes) -> int:
+    """One-shot CRC-32 of ``data`` (equals ``binascii.crc32(data)``)."""
+    return CRC32.compute(data)
+
+
+def crc16(data: bytes) -> int:
+    """One-shot CRC-16/ARC of ``data``."""
+    return CRC16.compute(data)

@@ -1,0 +1,99 @@
+"""Classical Karp-Rabin fingerprints and the byte-XOR comparator.
+
+Two baselines from the paper:
+
+* :class:`KarpRabinFingerprint` -- the original KRF [KR87]: the rolling
+  hash ``H(P) = sum p_i * b^i  mod q`` over *integer* arithmetic with a
+  prime modulus.  The algebraic signature is "a KRF calculated in a
+  Galois field" (Section 1); having both lets tests and benches compare
+  the two directly.
+* :func:`xor_fold_search` -- the degenerate "signature" used as the
+  search control in Section 5.2: the byte-wise XOR of the window.  It
+  has no positional sensitivity at all (any permutation collides) but
+  sets the memory-bandwidth floor for the E7 search benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignatureError
+
+#: Default KRF parameters: a Mersenne-like prime modulus and byte base.
+DEFAULT_MODULUS = (1 << 31) - 1
+DEFAULT_BASE = 257
+
+
+class KarpRabinFingerprint:
+    """Rolling Karp-Rabin fingerprints over the integers mod a prime."""
+
+    def __init__(self, modulus: int = DEFAULT_MODULUS, base: int = DEFAULT_BASE):
+        if modulus <= 1:
+            raise SignatureError("KRF modulus must exceed 1")
+        self.modulus = modulus
+        self.base = base % modulus
+
+    def fingerprint(self, data: bytes) -> int:
+        """Fingerprint ``sum data[i] * base^i mod modulus``."""
+        value = 0
+        power = 1
+        for byte in data:
+            value = (value + byte * power) % self.modulus
+            power = (power * self.base) % self.modulus
+        return value
+
+    def search(self, haystack: bytes, needle: bytes) -> list[int]:
+        """Las Vegas rolling search: all exact match offsets.
+
+        Maintains the window fingerprint in O(1) per shift (the property
+        the algebraic signature inherits) and verifies candidates, so
+        false positives never escape.
+        """
+        m = len(needle)
+        if m == 0:
+            raise SignatureError("cannot search for an empty pattern")
+        if m > len(haystack):
+            return []
+        target = self.fingerprint(needle)
+        window = self.fingerprint(haystack[:m])
+        base_inv = pow(self.base, -1, self.modulus)
+        top_power = pow(self.base, m - 1, self.modulus)
+        matches = []
+        for offset in range(len(haystack) - m + 1):
+            if window == target and haystack[offset:offset + m] == needle:
+                matches.append(offset)
+            if offset + m < len(haystack):
+                window = (window - haystack[offset]) % self.modulus
+                window = (window * base_inv) % self.modulus
+                window = (window + haystack[offset + m] * top_power) % self.modulus
+        return matches
+
+
+def xor_fold(data: bytes) -> int:
+    """Byte-wise XOR of the buffer -- the Section 5.2 control 'signature'."""
+    return int(np.bitwise_xor.reduce(np.frombuffer(data, dtype=np.uint8))) if data else 0
+
+
+def xor_fold_search(haystack: bytes, needle: bytes) -> list[int]:
+    """Sliding search using the XOR fold as the window fingerprint.
+
+    Vectorized exactly like the algebraic scan so E7 compares the GF
+    arithmetic cost, not the loop machinery.  Candidates are verified;
+    the XOR fold collides massively (no positional information), so this
+    baseline does far more verifications on adversarial data.
+    """
+    m = len(needle)
+    if m == 0:
+        raise SignatureError("cannot search for an empty pattern")
+    if m > len(haystack):
+        return []
+    hay = np.frombuffer(haystack, dtype=np.uint8).astype(np.int64)
+    prefix = np.zeros(hay.size + 1, dtype=np.int64)
+    np.bitwise_xor.accumulate(hay, out=prefix[1:])
+    window_folds = prefix[m:] ^ prefix[:-m]
+    target = xor_fold(needle)
+    candidates = np.nonzero(window_folds == target)[0]
+    return [
+        int(offset) for offset in candidates
+        if haystack[offset:offset + m] == needle
+    ]

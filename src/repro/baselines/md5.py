@@ -1,0 +1,102 @@
+"""From-scratch MD5 (RFC 1321), the paper's second comparator.
+
+MD5's 16-byte digests are used in computer forensics to ascertain disk
+image integrity (paper, Section 1).  Like SHA-1 it is cryptographically
+oriented and lacks every algebraic property the SDDS applications need.
+Validated against :mod:`hashlib` by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+# Per-round left-rotate amounts.
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+# Binary integer parts of abs(sin(i + 1)) * 2^32 -- the RFC's T table.
+_SINES = [int(abs(math.sin(i + 1)) * (1 << 32)) & _MASK32 for i in range(64)]
+
+_INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def _compress(state: tuple[int, int, int, int], block: bytes) -> tuple[int, int, int, int]:
+    m = struct.unpack("<16I", block)
+    a, b, c, d = state
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+            g = i
+        elif i < 32:
+            f = (d & b) | (~d & c)
+            g = (5 * i + 1) % 16
+        elif i < 48:
+            f = b ^ c ^ d
+            g = (3 * i + 5) % 16
+        else:
+            f = c ^ (b | (~d & _MASK32))
+            g = (7 * i) % 16
+        f = (f + a + _SINES[i] + m[g]) & _MASK32
+        a, d, c = d, c, b
+        b = (b + _left_rotate(f, _SHIFTS[i])) & _MASK32
+    return (
+        (state[0] + a) & _MASK32,
+        (state[1] + b) & _MASK32,
+        (state[2] + c) & _MASK32,
+        (state[3] + d) & _MASK32,
+    )
+
+
+class MD5:
+    """Incremental MD5 with the ``hashlib``-style update/digest API."""
+
+    digest_size = 16
+    block_size = 64
+
+    def __init__(self, data: bytes = b""):
+        self._state = _INITIAL_STATE
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        buffer = self._buffer + data
+        offset = 0
+        state = self._state
+        while offset + 64 <= len(buffer):
+            state = _compress(state, buffer[offset:offset + 64])
+            offset += 64
+        self._state = state
+        self._buffer = buffer[offset:]
+
+    def digest(self) -> bytes:
+        """Return the 16-byte digest (does not consume the state)."""
+        state = self._state
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = self._buffer + padding + struct.pack("<Q", self._length * 8)
+        for offset in range(0, len(tail), 64):
+            state = _compress(state, tail[offset:offset + 64])
+        return struct.pack("<4I", *state)
+
+    def hexdigest(self) -> str:
+        """Hex rendering of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def md5(data: bytes) -> bytes:
+    """One-shot MD5 digest of ``data``."""
+    return MD5(data).digest()

@@ -1,0 +1,35 @@
+"""Galois-field substrate: GF(2^f) arithmetic, tables, and linear algebra.
+
+Public surface:
+
+* :func:`GF` / :class:`GField` -- cached field construction with the
+  paper's log / doubled-antilog tables (Section 3, Section 4.1).
+* :class:`GFElement` -- operator-overloaded element wrapper.
+* :mod:`repro.gf.polynomial` -- binary polynomial arithmetic used to
+  build and validate generator polynomials from scratch.
+* :mod:`repro.gf.linalg` -- Vandermonde matrices and GF Gaussian
+  elimination (Propositions 1/2/4 machinery, Reed-Solomon).
+* :mod:`repro.gf.vectorized` -- numpy bulk kernels for page signatures.
+"""
+
+from .field import GF, GField
+from .element import GFElement
+from .primitives import DEFAULT_POLYNOMIALS, default_polynomial
+from .polynomial import (
+    find_primitive_polynomial,
+    is_irreducible,
+    is_primitive,
+    poly_str,
+)
+
+__all__ = [
+    "GF",
+    "GField",
+    "GFElement",
+    "DEFAULT_POLYNOMIALS",
+    "default_polynomial",
+    "find_primitive_polynomial",
+    "is_irreducible",
+    "is_primitive",
+    "poly_str",
+]

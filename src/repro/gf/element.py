@@ -1,0 +1,124 @@
+"""Operator-overloaded wrapper for Galois-field elements.
+
+The scalar :class:`repro.gf.field.GField` API works on plain integers for
+speed.  :class:`GFElement` wraps an integer together with its field so
+algebraic code (tests of the paper's propositions, the Reed-Solomon
+encoder, examples) reads like the mathematics:
+
+>>> from repro.gf import GF
+>>> gf = GF(8)
+>>> a = gf.element(7)
+>>> (a * a.inverse()).value
+1
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import GaloisFieldError
+from .field import GField
+
+_Operand = Union["GFElement", int]
+
+
+class GFElement:
+    """An element of a specific GF(2^f), supporting ``+ - * / **``."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: GField, value: int):
+        self.field = field
+        self.value = field.validate(int(value))
+
+    def _coerce(self, other: _Operand) -> int:
+        if isinstance(other, GFElement):
+            if other.field != self.field:
+                raise GaloisFieldError(
+                    f"cannot mix elements of {self.field} and {other.field}"
+                )
+            return other.value
+        if isinstance(other, int):
+            return self.field.validate(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: _Operand) -> "GFElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.value ^ value)
+
+    __radd__ = __add__
+    __sub__ = __add__          # characteristic 2: subtraction == addition
+    __rsub__ = __add__
+
+    def __mul__(self, other: _Operand) -> "GFElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.field.mul(self.value, value))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Operand) -> "GFElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.field.div(self.value, value))
+
+    def __rtruediv__(self, other: _Operand) -> "GFElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return GFElement(self.field, self.field.div(value, self.value))
+
+    def __pow__(self, exponent: int) -> "GFElement":
+        return GFElement(self.field, self.field.pow(self.value, exponent))
+
+    def __neg__(self) -> "GFElement":
+        return self  # -a == a in characteristic 2
+
+    def inverse(self) -> "GFElement":
+        """Multiplicative inverse."""
+        return GFElement(self.field, self.field.inv(self.value))
+
+    def log(self) -> int:
+        """Discrete logarithm to the canonical base α = x."""
+        return self.field.log(self.value)
+
+    def order(self) -> int:
+        """Multiplicative order."""
+        return self.field.element_order(self.value)
+
+    def is_primitive(self) -> bool:
+        """True if this element generates the multiplicative group."""
+        return self.field.is_primitive_element(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GFElement):
+            return self.field == other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"GFElement(2^{self.field.f}, {self.value:#x})"
+
+
+def _element(self: GField, value: int) -> GFElement:
+    """Return ``value`` wrapped as a :class:`GFElement` of this field."""
+    return GFElement(self, value)
+
+
+# Attach as a convenience constructor: gf.element(7).  Defined here rather
+# than in field.py to keep the scalar core free of the wrapper import.
+GField.element = _element  # type: ignore[attr-defined]

@@ -1,0 +1,141 @@
+"""Linear algebra over GF(2^f).
+
+The paper's Propositions 1, 2 and 4 rest on the invertibility of
+Vandermonde-type matrices over the field.  This module provides exactly
+the machinery needed to *check* those arguments computationally (the
+proposition tests solve the homogeneous systems from the proofs) and to
+implement the Reed-Solomon parity calculus of Section 6.2.
+
+Matrices are lists of lists of plain integers (field elements); this is
+deliberate — sizes here are tiny (n x n for signature length n, or the
+reliability-group size m + k), so clarity beats numpy.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotInvertibleError
+from .field import GField
+
+Matrix = list[list[int]]
+Vector = list[int]
+
+
+def identity(field: GField, n: int) -> Matrix:
+    """The n x n identity matrix."""
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+
+def vandermonde(field: GField, xs: Vector, n_cols: int, first_power: int = 0) -> Matrix:
+    """Vandermonde matrix with rows ``(x^first_power, ..., x^(first_power+n_cols-1))``.
+
+    With ``first_power = 1`` and ``xs = (α^{i_1}, ..., α^{i_n})`` this is
+    the matrix from the proof of Proposition 1.
+    """
+    return [
+        [field.pow(x, first_power + j) for j in range(n_cols)]
+        for x in xs
+    ]
+
+
+def mat_vec(field: GField, matrix: Matrix, vector: Vector) -> Vector:
+    """Matrix-vector product over the field."""
+    result = []
+    for row in matrix:
+        acc = 0
+        for a, v in zip(row, vector):
+            acc ^= field.mul(a, v)
+        result.append(acc)
+    return result
+
+
+def mat_mul(field: GField, a: Matrix, b: Matrix) -> Matrix:
+    """Matrix-matrix product over the field."""
+    n, k = len(a), len(b[0])
+    result = [[0] * k for _ in range(n)]
+    for i, row in enumerate(a):
+        for m, a_im in enumerate(row):
+            if a_im == 0:
+                continue
+            b_row = b[m]
+            out = result[i]
+            for j in range(k):
+                out[j] ^= field.mul(a_im, b_row[j])
+    return result
+
+
+def solve(field: GField, matrix: Matrix, rhs: Vector) -> Vector:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination with pivoting.
+
+    Raises :class:`NotInvertibleError` if the matrix is singular.
+    """
+    n = len(matrix)
+    # Augmented working copy.
+    work = [list(row) + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise NotInvertibleError("singular matrix in GF solve")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot_inv = field.inv(work[col][col])
+        work[col] = [field.mul(pivot_inv, v) for v in work[col]]
+        for r in range(n):
+            if r != col and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    v ^ field.mul(factor, work[col][j])
+                    for j, v in enumerate(work[r])
+                ]
+    return [work[i][n] for i in range(n)]
+
+
+def invert(field: GField, matrix: Matrix) -> Matrix:
+    """Matrix inverse by Gauss-Jordan elimination.
+
+    Raises :class:`NotInvertibleError` if the matrix is singular.
+    """
+    n = len(matrix)
+    work = [list(row) + ident_row for row, ident_row in zip(matrix, identity(field, n))]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise NotInvertibleError("singular matrix in GF invert")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot_inv = field.inv(work[col][col])
+        work[col] = [field.mul(pivot_inv, v) for v in work[col]]
+        for r in range(n):
+            if r != col and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    v ^ field.mul(factor, work[col][j])
+                    for j, v in enumerate(work[r])
+                ]
+    return [row[n:] for row in work]
+
+
+def determinant(field: GField, matrix: Matrix) -> int:
+    """Determinant over the field (by elimination; 0 iff singular)."""
+    n = len(matrix)
+    work = [list(row) for row in matrix]
+    det = 1
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+        if pivot_row is None:
+            return 0
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            # Row swap flips the sign; in characteristic 2, -1 == 1.
+        det = field.mul(det, work[col][col])
+        pivot_inv = field.inv(work[col][col])
+        for r in range(col + 1, n):
+            if work[r][col] != 0:
+                factor = field.mul(work[r][col], pivot_inv)
+                work[r] = [
+                    v ^ field.mul(factor, work[col][j])
+                    for j, v in enumerate(work[r])
+                ]
+    return det
+
+
+def is_invertible(field: GField, matrix: Matrix) -> bool:
+    """True iff the matrix has an inverse over the field."""
+    return determinant(field, matrix) != 0

@@ -1,0 +1,199 @@
+"""Binary polynomial arithmetic over GF(2).
+
+Polynomials over GF(2) are represented as non-negative Python integers:
+bit ``i`` of the integer is the coefficient of ``x^i``.  For example the
+integer ``0b101001`` represents ``x^5 + x^3 + 1``, exactly the encoding
+used in Section 3 of the paper.
+
+These routines are the foundation for constructing the Galois fields
+GF(2^f): the field's generator polynomial is an irreducible (in fact
+primitive) binary polynomial of degree ``f``, and field multiplication is
+polynomial multiplication modulo that generator.
+"""
+
+from __future__ import annotations
+
+from ..errors import GaloisFieldError
+
+
+def degree(poly: int) -> int:
+    """Return the degree of ``poly``, or ``-1`` for the zero polynomial.
+
+    >>> degree(0b101001)
+    5
+    >>> degree(1)
+    0
+    >>> degree(0)
+    -1
+    """
+    if poly < 0:
+        raise GaloisFieldError("polynomials are encoded as non-negative ints")
+    return poly.bit_length() - 1
+
+
+def add(a: int, b: int) -> int:
+    """Add two binary polynomials (coefficient-wise XOR).
+
+    Over GF(2) addition and subtraction coincide, so this is also ``sub``.
+    """
+    return a ^ b
+
+
+def mul(a: int, b: int) -> int:
+    """Multiply two binary polynomials (carry-less multiplication).
+
+    >>> mul(0b11, 0b11)  # (x+1)^2 = x^2 + 1 over GF(2)
+    5
+    """
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def divmod_poly(a: int, b: int) -> tuple[int, int]:
+    """Return ``(quotient, remainder)`` of binary polynomial division.
+
+    Raises :class:`GaloisFieldError` on division by the zero polynomial.
+    """
+    if b == 0:
+        raise GaloisFieldError("polynomial division by zero")
+    deg_b = degree(b)
+    quotient = 0
+    remainder = a
+    while degree(remainder) >= deg_b:
+        shift = degree(remainder) - deg_b
+        quotient ^= 1 << shift
+        remainder ^= b << shift
+    return quotient, remainder
+
+
+def mod(a: int, b: int) -> int:
+    """Return ``a`` reduced modulo polynomial ``b``."""
+    return divmod_poly(a, b)[1]
+
+
+def mulmod(a: int, b: int, modulus: int) -> int:
+    """Multiply two polynomials and reduce modulo ``modulus``.
+
+    This is the product operation of GF(2^f) when ``modulus`` is the
+    field's generator polynomial (Section 3 of the paper).
+    """
+    return mod(mul(a, b), modulus)
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """Raise ``base`` to ``exponent`` modulo ``modulus`` (square-and-multiply)."""
+    if exponent < 0:
+        raise GaloisFieldError("negative exponents need a field inverse; use GField.pow")
+    result = 1
+    base = mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = mulmod(result, base, modulus)
+        base = mulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two binary polynomials (Euclid)."""
+    while b:
+        a, b = b, mod(a, b)
+    return a
+
+
+def is_irreducible(poly: int) -> bool:
+    """Test irreducibility of ``poly`` over GF(2).
+
+    Uses the standard criterion: a degree-``f`` polynomial ``p`` is
+    irreducible iff ``x^(2^f) == x (mod p)`` and, for every prime divisor
+    ``d`` of ``f``, ``gcd(x^(2^(f/d)) - x, p) == 1``.
+    """
+    f = degree(poly)
+    if f <= 0:
+        return False
+    if f == 1:
+        return True
+    # x^(2^f) mod poly must equal x.
+    x_power = 2  # the polynomial "x"
+    for _ in range(f):
+        x_power = mulmod(x_power, x_power, poly)
+    if x_power != 2:
+        return False
+    for d in _prime_divisors(f):
+        x_power = 2
+        for _ in range(f // d):
+            x_power = mulmod(x_power, x_power, poly)
+        if gcd(x_power ^ 2, poly) != 1:
+            return False
+    return True
+
+
+def is_primitive(poly: int) -> bool:
+    """Test whether ``poly`` is a *primitive* polynomial over GF(2).
+
+    A primitive polynomial of degree ``f`` is irreducible and has ``x`` as
+    a primitive element of GF(2^f) = GF(2)[x]/(poly): the multiplicative
+    order of ``x`` is exactly ``2^f - 1``.  Fields built on primitive
+    polynomials let the paper's log/antilog tables use ``x`` (the element
+    ``2``) as the logarithm base.
+    """
+    if not is_irreducible(poly):
+        return False
+    f = degree(poly)
+    group_order = (1 << f) - 1
+    for prime in _prime_divisors(group_order):
+        if powmod(2, group_order // prime, poly) == 1:
+            return False
+    return True
+
+
+def find_primitive_polynomial(f: int) -> int:
+    """Find the lexicographically smallest primitive polynomial of degree ``f``.
+
+    Exhaustive search over monic degree-``f`` polynomials with constant
+    term 1 (a primitive polynomial always has constant term 1).  Fast for
+    the degrees we use (f <= 16).
+    """
+    if f < 1:
+        raise GaloisFieldError(f"degree must be >= 1, got {f}")
+    high_bit = 1 << f
+    for candidate in range(high_bit | 1, high_bit << 1, 2):
+        if is_primitive(candidate):
+            return candidate
+    raise GaloisFieldError(f"no primitive polynomial of degree {f} found")
+
+
+def _prime_divisors(value: int) -> list[int]:
+    """Return the distinct prime divisors of ``value`` (trial division)."""
+    primes = []
+    candidate = 2
+    while candidate * candidate <= value:
+        if value % candidate == 0:
+            primes.append(candidate)
+            while value % candidate == 0:
+                value //= candidate
+        candidate += 1
+    if value > 1:
+        primes.append(value)
+    return primes
+
+
+def poly_str(poly: int) -> str:
+    """Human-readable rendering, e.g. ``poly_str(0b101001) == 'x^5 + x^3 + 1'``."""
+    if poly == 0:
+        return "0"
+    terms = []
+    for i in range(degree(poly), -1, -1):
+        if (poly >> i) & 1:
+            if i == 0:
+                terms.append("1")
+            elif i == 1:
+                terms.append("x")
+            else:
+                terms.append(f"x^{i}")
+    return " + ".join(terms)

@@ -1,0 +1,79 @@
+"""Primitive-polynomial catalogue for GF(2^f), 1 <= f <= 16.
+
+The defaults below were *discovered* by :func:`repro.gf.polynomial.
+find_primitive_polynomial` (exhaustive search) and are cached here so
+field construction does not repeat the search.  A test asserts that the
+cache matches a fresh search for every degree, so the table is verified
+from scratch on every test run.
+
+``DEFAULT_POLYNOMIALS[8] == 0x11D`` (x^8+x^4+x^3+x^2+1) and
+``DEFAULT_POLYNOMIALS[16] == 0x1002D`` (x^16+x^5+x^3+x^2+1) generate the
+two fields the paper actually deploys (byte and double-byte symbols).
+Any primitive polynomial of the right degree is accepted by
+:func:`validate_generator`, e.g. the CRC-style ``0x1100B`` for f = 16.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import GaloisFieldError
+from .polynomial import find_primitive_polynomial, is_primitive
+
+#: Smallest primitive polynomial of each degree, as found by exhaustive search.
+DEFAULT_POLYNOMIALS: dict[int, int] = {
+    1: 0b11,               # x + 1
+    2: 0b111,              # x^2 + x + 1
+    3: 0b1011,             # x^3 + x + 1
+    4: 0b10011,            # x^4 + x + 1
+    5: 0b100101,           # x^5 + x^2 + 1
+    6: 0b1000011,          # x^6 + x + 1
+    7: 0b10000011,         # x^7 + x + 1
+    8: 0b100011101,        # x^8 + x^4 + x^3 + x^2 + 1  (0x11D)
+    9: 0b1000010001,       # x^9 + x^4 + 1
+    10: 0b10000001001,     # x^10 + x^3 + 1
+    11: 0b100000000101,    # x^11 + x^2 + 1
+    12: 0b1000001010011,   # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,  # x^13 + x^4 + x^3 + x + 1
+    14: 0b100000000101011,  # x^14 + x^5 + x^3 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10000000000101101,  # x^16 + x^5 + x^3 + x^2 + 1  (0x1002D)
+}
+
+#: Degrees supported by table-based field construction.
+SUPPORTED_DEGREES = range(2, 17)
+
+
+def default_polynomial(f: int) -> int:
+    """Return the catalogued primitive polynomial of degree ``f``.
+
+    Falls back to an exhaustive search for degrees missing from the
+    catalogue (none in practice for 1 <= f <= 16).
+    """
+    if f in DEFAULT_POLYNOMIALS:
+        return DEFAULT_POLYNOMIALS[f]
+    return _searched_polynomial(f)
+
+
+@lru_cache(maxsize=None)
+def _searched_polynomial(f: int) -> int:
+    return find_primitive_polynomial(f)
+
+
+def validate_generator(f: int, poly: int) -> int:
+    """Validate a user-supplied generator polynomial for GF(2^f).
+
+    The polynomial must be primitive and of degree exactly ``f``; the
+    paper's log/antilog implementation assumes the element ``x`` (encoded
+    ``2``) is primitive, which holds exactly for primitive generator
+    polynomials.
+    """
+    if poly.bit_length() - 1 != f:
+        raise GaloisFieldError(
+            f"generator polynomial degree {poly.bit_length() - 1} != field degree {f}"
+        )
+    if not is_primitive(poly):
+        raise GaloisFieldError(
+            f"generator polynomial {poly:#x} is not primitive over GF(2)"
+        )
+    return poly

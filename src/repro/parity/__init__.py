@@ -1,0 +1,15 @@
+"""Reed-Solomon parity and signature consistency (Section 6.2, LH*RS)."""
+
+from .reed_solomon import ReedSolomonCode, cauchy_matrix
+from .consistency import combine_signatures, parity_consistent
+from .reliability_group import ReliabilityGroup
+from .lhrs import LHRSStore
+
+__all__ = [
+    "ReedSolomonCode",
+    "cauchy_matrix",
+    "combine_signatures",
+    "parity_consistent",
+    "ReliabilityGroup",
+    "LHRSStore",
+]

@@ -1,0 +1,58 @@
+"""The algebraic relation between data and parity signatures (Section 6.2).
+
+"We have shown the existence of an algebraic relation between the
+signatures of data and parity records which can be used to confirm this
+consistency between parity and data buckets."
+
+The relation is linearity: a parity record is a fixed GF-linear
+combination of the data records, ``p = sum_j c_j * d_j`` symbol-wise,
+and the component signature is itself GF-linear in the page, so::
+
+    sig_beta(p) = sum_j c_j * sig_beta(d_j)
+
+A parity server can therefore verify it has seen the same updates as the
+data servers by exchanging only 4-byte signatures -- never the records.
+The same check applies verbatim to RAID-5 parity blocks [XMLBLS03].
+"""
+
+from __future__ import annotations
+
+from ..errors import ParityError
+from ..sig.scheme import AlgebraicSignatureScheme
+from ..sig.signature import Signature
+
+
+def combine_signatures(scheme: AlgebraicSignatureScheme,
+                       signatures: list[Signature],
+                       coefficients: list[int]) -> Signature:
+    """The GF-linear combination ``sum_j c_j * sig_j`` per component.
+
+    This is the signature the parity record *must* have if parity and
+    data are consistent.
+    """
+    if len(signatures) != len(coefficients):
+        raise ParityError("one coefficient per data signature required")
+    if not signatures:
+        raise ParityError("cannot combine zero signatures")
+    field = scheme.field
+    components = [0] * scheme.n
+    for signature, coefficient in zip(signatures, coefficients):
+        if signature.scheme_id != scheme.scheme_id:
+            raise ParityError("signature from a different scheme")
+        for index, component in enumerate(signature.components):
+            components[index] ^= field.mul(coefficient, component)
+    return Signature(tuple(components), scheme.scheme_id)
+
+
+def parity_consistent(scheme: AlgebraicSignatureScheme,
+                      data_signatures: list[Signature],
+                      parity_signature: Signature,
+                      coefficients: list[int]) -> bool:
+    """Check the data/parity signature relation.
+
+    True iff ``sig(parity) == sum_j c_j * sig(data_j)``.  A False result
+    proves a data and a parity server disagree about some update; a True
+    result means consistency with collision probability 2^-nf.
+    """
+    expected = combine_signatures(scheme, data_signatures, coefficients)
+    return expected == parity_signature

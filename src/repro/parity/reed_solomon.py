@@ -1,0 +1,130 @@
+"""Reed-Solomon erasure coding over GF(2^f): the LH*RS parity calculus.
+
+Section 6.2 connects algebraic signatures with the Reed-Solomon parity
+the high-availability LH*RS scheme uses: ``m`` data buckets form a
+reliability group with ``k`` parity buckets, and the group survives any
+``k`` erasures.  We implement the code with a systematic Cauchy
+generator matrix -- every square submatrix of a Cauchy matrix is
+invertible over a field, which yields the MDS property directly.
+
+The same GF tables drive both the signatures and the parity, which is
+what makes the consistency relation of :mod:`repro.parity.consistency`
+possible at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParityError, ReconstructionError
+from ..gf import linalg
+from ..gf.field import GField
+from ..gf.vectorized import scale
+
+
+def cauchy_matrix(field: GField, k: int, m: int) -> list[list[int]]:
+    """A k x m Cauchy matrix ``P[i][j] = 1 / (x_i + y_j)``.
+
+    ``x_i = i`` and ``y_j = k + j`` are distinct field elements, so every
+    denominator is non-zero and every square submatrix is invertible.
+    """
+    if k + m > field.size:
+        raise ParityError(
+            f"group of {m}+{k} needs at least {k + m} field elements"
+        )
+    return [
+        [field.inv(i ^ (k + j)) for j in range(m)]
+        for i in range(k)
+    ]
+
+
+class ReedSolomonCode:
+    """A systematic (m + k, m) erasure code over GF(2^f).
+
+    Words are numpy arrays of symbols (all the same length): in LH*RS
+    terms, the non-key portions of the m data records at the same rank
+    in their buckets, and the k parity records derived from them.
+    """
+
+    def __init__(self, field: GField, data_shards: int, parity_shards: int):
+        if data_shards < 1 or parity_shards < 1:
+            raise ParityError("need at least one data and one parity shard")
+        self.field = field
+        self.m = data_shards
+        self.k = parity_shards
+        #: The parity rows P of the systematic generator [I | P^T]^T.
+        self.parity_rows = cauchy_matrix(field, parity_shards, data_shards)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, data: list[np.ndarray]) -> list[np.ndarray]:
+        """Compute the k parity words from the m data words."""
+        self._check_data(data)
+        length = data[0].size
+        parities = []
+        for row in self.parity_rows:
+            parity = np.zeros(length, dtype=np.int64)
+            for coefficient, shard in zip(row, data):
+                parity ^= scale(self.field, shard, coefficient)
+            parities.append(parity)
+        return parities
+
+    def parity_delta(self, parity_index: int, data_index: int,
+                     delta: np.ndarray) -> np.ndarray:
+        """Parity adjustment for a data-shard delta (LH*RS record update).
+
+        When data shard ``j`` changes by ``delta`` (XOR of before and
+        after), parity shard ``i`` changes by ``P[i][j] * delta`` --
+        parity servers never need the full record.
+        """
+        coefficient = self.parity_rows[parity_index][data_index]
+        return scale(self.field, np.asarray(delta, dtype=np.int64), coefficient)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, shards: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Recover all m data words from any m available shards.
+
+        ``shards`` maps shard index to its word: indices ``0..m-1`` are
+        data, ``m..m+k-1`` parity.  Raises
+        :class:`~repro.errors.ReconstructionError` with fewer than m
+        shards (more erasures than parity).
+        """
+        if len(shards) < self.m:
+            raise ReconstructionError(
+                f"{self.m - len(shards)} too few shards: have {len(shards)}, "
+                f"need {self.m}"
+            )
+        available = sorted(shards)[:self.m]
+        lengths = {shards[index].size for index in available}
+        if len(lengths) != 1:
+            raise ParityError("all shards must have the same length")
+        # Rows of the generator matrix for the shards we hold.
+        rows = [self._generator_row(index) for index in available]
+        inverse = linalg.invert(self.field, rows)
+        length = lengths.pop()
+        data = []
+        for i in range(self.m):
+            word = np.zeros(length, dtype=np.int64)
+            for coefficient, index in zip(inverse[i], available):
+                word ^= scale(self.field, np.asarray(shards[index], dtype=np.int64),
+                              coefficient)
+            data.append(word)
+        return data
+
+    def _generator_row(self, shard_index: int) -> list[int]:
+        if shard_index < self.m:
+            return [1 if j == shard_index else 0 for j in range(self.m)]
+        if shard_index < self.m + self.k:
+            return list(self.parity_rows[shard_index - self.m])
+        raise ParityError(f"shard index {shard_index} out of range")
+
+    def _check_data(self, data: list[np.ndarray]) -> None:
+        if len(data) != self.m:
+            raise ParityError(f"expected {self.m} data shards, got {len(data)}")
+        if len({shard.size for shard in data}) > 1:
+            raise ParityError("all data shards must have the same length")

@@ -1,0 +1,123 @@
+"""LH*RS-style reliability groups with signature-verified consistency.
+
+A reliability group combines ``m`` data buckets with ``k`` parity
+buckets (Section 6.2).  Records at the same *rank* across the group form
+a code word: updating a data record ships only the delta to each parity
+server (Reed-Solomon linearity), and the group can reconstruct any
+``k`` lost buckets.  Algebraic signatures give the cheap consistency
+audit: each server signs its record, and the parity signature must equal
+the coefficient-weighted combination of the data signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParityError
+from ..gf.vectorized import as_symbol_array, symbols_to_bytes
+from ..sig.scheme import AlgebraicSignatureScheme
+from .consistency import parity_consistent
+from .reed_solomon import ReedSolomonCode
+
+
+class ReliabilityGroup:
+    """m data + k parity stores of fixed-size records, kept consistent."""
+
+    def __init__(self, scheme: AlgebraicSignatureScheme, data_shards: int,
+                 parity_shards: int, record_bytes: int):
+        symbol_bytes = scheme.scheme_id.symbol_bytes
+        if record_bytes % symbol_bytes:
+            raise ParityError(
+                f"record size {record_bytes} not a multiple of the symbol size"
+            )
+        self.scheme = scheme
+        self.code = ReedSolomonCode(scheme.field, data_shards, parity_shards)
+        self.record_bytes = record_bytes
+        self.record_symbols = record_bytes // symbol_bytes
+        #: rank -> list of m data words (symbol arrays)
+        self._data: dict[int, list[np.ndarray]] = {}
+        #: rank -> list of k parity words
+        self._parity: dict[int, list[np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(self, rank: int, shard: int, value: bytes) -> None:
+        """Write the data record at (rank, shard), updating all parities.
+
+        Parity updates use the delta rule: each parity server receives
+        only ``c_ij * delta``, never the record itself.
+        """
+        if not 0 <= shard < self.code.m:
+            raise ParityError(f"data shard {shard} out of range")
+        if len(value) != self.record_bytes:
+            raise ParityError(
+                f"records in this group are {self.record_bytes} bytes"
+            )
+        symbols = as_symbol_array(value, self.scheme.field)
+        if rank not in self._data:
+            zero = np.zeros(self.record_symbols, dtype=np.int64)
+            self._data[rank] = [zero.copy() for _ in range(self.code.m)]
+            self._parity[rank] = [zero.copy() for _ in range(self.code.k)]
+        delta = self._data[rank][shard] ^ symbols
+        self._data[rank][shard] = symbols
+        for parity_index in range(self.code.k):
+            self._parity[rank][parity_index] = (
+                self._parity[rank][parity_index]
+                ^ self.code.parity_delta(parity_index, shard, delta)
+            )
+
+    def get(self, rank: int, shard: int) -> bytes:
+        """Read the data record at (rank, shard)."""
+        self._check_rank(rank)
+        return symbols_to_bytes(self._data[rank][shard], self.scheme.field)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, rank: int, lost_shards: set[int]) -> list[np.ndarray]:
+        """Recover the full data word of a rank despite lost shards.
+
+        ``lost_shards`` uses group indices: 0..m-1 data, m..m+k-1 parity.
+        """
+        self._check_rank(rank)
+        if len(lost_shards) > self.code.k:
+            raise ParityError(
+                f"{len(lost_shards)} erasures exceed the parity count {self.code.k}"
+            )
+        shards: dict[int, np.ndarray] = {}
+        for index in range(self.code.m):
+            if index not in lost_shards:
+                shards[index] = self._data[rank][index]
+        for index in range(self.code.k):
+            if self.code.m + index not in lost_shards:
+                shards[self.code.m + index] = self._parity[rank][index]
+        return self.code.reconstruct(shards)
+
+    # ------------------------------------------------------------------
+    # Signature audit (the Section 6.2 application)
+    # ------------------------------------------------------------------
+
+    def audit(self, rank: int) -> bool:
+        """Verify data/parity consistency exchanging only signatures."""
+        self._check_rank(rank)
+        data_sigs = [self.scheme.sign(shard) for shard in self._data[rank]]
+        for parity_index in range(self.code.k):
+            parity_sig = self.scheme.sign(self._parity[rank][parity_index])
+            if not parity_consistent(
+                self.scheme, data_sigs, parity_sig,
+                self.code.parity_rows[parity_index],
+            ):
+                return False
+        return True
+
+    def corrupt_parity(self, rank: int, parity_index: int, symbol: int) -> None:
+        """Flip one parity symbol (fault injection for tests)."""
+        self._check_rank(rank)
+        self._parity[rank][parity_index][symbol] ^= 1
+
+    def _check_rank(self, rank: int) -> None:
+        if rank not in self._data:
+            raise ParityError(f"rank {rank} holds no records")

@@ -1,0 +1,334 @@
+"""In-RAM B-tree: the bucket index of SDDS-2000 (Section 5.2).
+
+"Internally, the bucket in SDDS-2000 has a RAM index because it is
+structured into a RAM B-tree."  The index maps record keys to their
+location in the bucket's record heap.  The backup experiments sign the
+index pages separately (128 B pages in the paper), so the tree exposes
+its node payloads as byte pages.
+
+This is a textbook B-tree of minimum degree ``t`` with full support for
+insert, search, delete, and ordered iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import DuplicateKeyError, KeyNotFoundError, SDDSError
+
+
+class _Node:
+    """A B-tree node: sorted keys, parallel values, child pointers."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A B-tree with integer keys and arbitrary values.
+
+    Parameters
+    ----------
+    min_degree:
+        The classic ``t``: every node except the root holds between
+        ``t - 1`` and ``2t - 1`` keys.
+    """
+
+    def __init__(self, min_degree: int = 16):
+        if min_degree < 2:
+            raise SDDSError("B-tree minimum degree must be at least 2")
+        self.t = min_degree
+        self.root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(self.root, key) is not None
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value for ``key``, or ``default`` when absent."""
+        hit = self._find(self.root, key)
+        return default if hit is None else hit[0]
+
+    def search(self, key: int) -> Any:
+        """Value for ``key``; raises :class:`KeyNotFoundError` when absent."""
+        hit = self._find(self.root, key)
+        if hit is None:
+            raise KeyNotFoundError(f"key {key} not in B-tree")
+        return hit[0]
+
+    def _find(self, node: _Node, key: int) -> tuple[Any] | None:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return (node.values[index],)
+            if node.leaf:
+                return None
+            node = node.children[index]
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert a new key; raises :class:`DuplicateKeyError` if present."""
+        if key in self:
+            raise DuplicateKeyError(f"key {key} already in B-tree")
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self.root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+        self._count += 1
+
+    def replace(self, key: int, value: Any) -> None:
+        """Overwrite the value of an existing key."""
+        node, index = self._locate(self.root, key)
+        node.values[index] = value
+
+    def upsert(self, key: int, value: Any) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        hit = self._find(self.root, key)
+        if hit is None:
+            self.insert(key, value)
+            return True
+        self.replace(key, value)
+        return False
+
+    def _locate(self, node: _Node, key: int) -> tuple[_Node, int]:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node, index
+            if node.leaf:
+                raise KeyNotFoundError(f"key {key} not in B-tree")
+            node = node.children[index]
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[:t - 1]
+        child.values = child.values[:t - 1]
+
+    def _insert_nonfull(self, node: _Node, key: int, value: Any) -> None:
+        while not node.leaf:
+            index = _lower_bound(node.keys, key)
+            if len(node.children[index].keys) == 2 * self.t - 1:
+                self._split_child(node, index)
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+        index = _lower_bound(node.keys, key)
+        node.keys.insert(index, key)
+        node.values.insert(index, value)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: int) -> Any:
+        """Remove ``key`` and return its value; raises when absent."""
+        value = self.search(key)
+        self._delete(self.root, key)
+        if not self.root.keys and self.root.children:
+            self.root = self.root.children[0]
+        self._count -= 1
+        return value
+
+    def _delete(self, node: _Node, key: int) -> None:
+        t = self.t
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_value = self._max_entry(left)
+                node.keys[index], node.values[index] = pred_key, pred_value
+                self._delete(left, pred_key)
+            elif len(right.keys) >= t:
+                succ_key, succ_value = self._min_entry(right)
+                node.keys[index], node.values[index] = succ_key, succ_value
+                self._delete(right, succ_key)
+            else:
+                self._merge(node, index)
+                self._delete(left, key)
+            return
+        if node.leaf:
+            raise KeyNotFoundError(f"key {key} not in B-tree")
+        child = node.children[index]
+        if len(child.keys) < t:
+            index = self._grow_child(node, index)
+            child = node.children[index]
+        self._delete(child, key)
+
+    def _grow_child(self, node: _Node, index: int) -> int:
+        """Ensure ``node.children[index]`` has at least ``t`` keys.
+
+        Returns the (possibly shifted) child index to descend into.
+        """
+        t = self.t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.children) - 1 and len(node.children[index + 1].keys) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index > 0:
+            self._merge(node, index - 1)
+            return index - 1
+        self._merge(node, index)
+        return index
+
+    def _merge(self, node: _Node, index: int) -> None:
+        """Merge children ``index`` and ``index + 1`` around separator ``index``."""
+        left = node.children[index]
+        right = node.children.pop(index + 1)
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+
+    # ------------------------------------------------------------------
+    # Ordered access
+    # ------------------------------------------------------------------
+
+    def _min_entry(self, node: _Node) -> tuple[int, Any]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def _max_entry(self, node: _Node) -> tuple[int, Any]:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def min_key(self) -> int:
+        """Smallest key; raises on an empty tree."""
+        if not self._count:
+            raise KeyNotFoundError("empty B-tree has no minimum")
+        return self._min_entry(self.root)[0]
+
+    def max_key(self) -> int:
+        """Largest key; raises on an empty tree."""
+        if not self._count:
+            raise KeyNotFoundError("empty B-tree has no maximum")
+        return self._max_entry(self.root)[0]
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All ``(key, value)`` pairs in ascending key order."""
+        yield from self._walk(self.root)
+
+    def keys(self) -> Iterator[int]:
+        """All keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def range_items(self, low: int, high: int) -> Iterator[tuple[int, Any]]:
+        """Pairs with ``low <= key < high`` in ascending order."""
+        for key, value in self.items():
+            if key >= high:
+                return
+            if key >= low:
+                yield key, value
+
+    def _walk(self, node: _Node) -> Iterator[tuple[int, Any]]:
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._walk(node.children[i])
+            yield key, node.values[i]
+        yield from self._walk(node.children[-1])
+
+    # ------------------------------------------------------------------
+    # Index pages (for backup signatures)
+    # ------------------------------------------------------------------
+
+    def index_pages(self, page_bytes: int = 128) -> list[bytes]:
+        """Serialize the index as fixed-size pages (paper: 128 B).
+
+        Each node contributes its keys as little-endian 8-byte integers;
+        the stream is then sliced into ``page_bytes`` pages so the backup
+        engine can sign the index at its own granularity.
+        """
+        stream = bytearray()
+        for key, _value in self.items():
+            stream += key.to_bytes(8, "little")
+        return [
+            bytes(stream[i:i + page_bytes])
+            for i in range(0, max(len(stream), 1), page_bytes)
+        ]
+
+    def check_invariants(self) -> None:
+        """Validate B-tree structural invariants (used by property tests)."""
+        self._check(self.root, is_root=True)
+        keys = list(self.keys())
+        if keys != sorted(keys) or len(keys) != len(set(keys)):
+            raise SDDSError("B-tree iteration is not strictly increasing")
+
+    def _check(self, node: _Node, is_root: bool) -> int:
+        t = self.t
+        if not is_root and len(node.keys) < t - 1:
+            raise SDDSError("underfull B-tree node")
+        if len(node.keys) > 2 * t - 1:
+            raise SDDSError("overfull B-tree node")
+        if sorted(node.keys) != node.keys:
+            raise SDDSError("unsorted keys in B-tree node")
+        if node.leaf:
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise SDDSError("B-tree child count mismatch")
+        depths = {self._check(child, is_root=False) for child in node.children}
+        if len(depths) != 1:
+            raise SDDSError("B-tree leaves at different depths")
+        return depths.pop() + 1
+
+
+def _lower_bound(keys: list[int], key: int) -> int:
+    """First index whose key is >= ``key`` (binary search)."""
+    import bisect
+
+    return bisect.bisect_left(keys, key)

@@ -1,0 +1,142 @@
+"""Signature-validated client cache (Section 6.2).
+
+"Our signature scheme appears to be a useful tool to manage the cache
+at the SDDS client and to keep the cache and server data synchronized."
+
+:class:`CachedClient` wraps any SDDS client with a record cache whose
+coherence protocol is a 4-byte signature exchange: before using a
+cached record, the client requests only the record's current signature;
+a match proves the cached copy current (collision probability 2^-nf),
+a mismatch triggers a refetch.  For the multi-KB records of the paper's
+scenarios, a validation costs two small messages instead of shipping
+the record -- the same economics as the blind pseudo-update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import messages
+from .client import BaseSDDSClient, OperationResult
+from .record import Record
+
+
+@dataclass
+class CacheStats:
+    """Cache-protocol counters."""
+
+    validations: int = 0      #: signature round-trips performed
+    hits: int = 0             #: validations that confirmed the cache
+    refetches: int = 0        #: validations that required a record fetch
+    cold_misses: int = 0      #: keys never seen before
+    bytes_saved: int = 0      #: record bytes not shipped thanks to hits
+
+
+class CachedClient:
+    """A record cache in front of an SDDS client, kept coherent by signatures."""
+
+    def __init__(self, client: BaseSDDSClient, capacity: int = 1024):
+        self.client = client
+        self.capacity = capacity
+        self.scheme = client.scheme
+        #: key -> cached value, in LRU order (oldest first).
+        self._cache: dict[int, bytes] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: int) -> Record | None:
+        """Fetch a record, serving validated cache hits without transfer."""
+        if key in self._cache:
+            return self._validated_get(key)
+        self.stats.cold_misses += 1
+        result = self.client.search(key)
+        if result.record is None:
+            return None
+        self._remember(key, result.record.value)
+        return result.record
+
+    def _validated_get(self, key: int) -> Record | None:
+        cached = self._cache[key]
+        self.stats.validations += 1
+        server, _forwards = self.client._locate(
+            key, messages.SIG_REQUEST, messages.key_payload()
+        )
+        current_sig = server.record_signature(key)
+        self.client.network.send(
+            server.name, self.client.name, messages.SIG_REPLY,
+            messages.signature_payload(self.scheme.signature_bytes),
+        )
+        if current_sig is None:
+            # Record deleted at the server; drop the stale entry.
+            del self._cache[key]
+            return None
+        if current_sig == self.scheme.sign(cached, strict=False):
+            self.stats.hits += 1
+            self.stats.bytes_saved += len(cached)
+            self._touch(key)
+            return Record(key, cached)
+        self.stats.refetches += 1
+        result = self.client.search(key)
+        if result.record is None:
+            del self._cache[key]
+            return None
+        self._remember(key, result.record.value)
+        return result.record
+
+    # ------------------------------------------------------------------
+    # Writes (keep the local copy coherent for free)
+    # ------------------------------------------------------------------
+
+    def insert(self, record: Record) -> OperationResult:
+        """Insert through the client, priming the cache."""
+        result = self.client.insert(record)
+        if result.status == "inserted":
+            self._remember(record.key, record.value)
+        return result
+
+    def update_normal(self, key: int, before: bytes, after: bytes) -> OperationResult:
+        """Update through the client; the cache learns the after-image."""
+        result = self.client.update_normal(key, before, after)
+        if result.status.name in ("APPLIED", "PSEUDO"):
+            self._remember(key, after if result.status.name == "APPLIED" else before)
+        else:
+            self._cache.pop(key, None)  # conflicting writer: we are stale
+        return result
+
+    def update_blind(self, key: int, after: bytes) -> OperationResult:
+        """Blind update through the client; cache follows the outcome."""
+        result = self.client.update_blind(key, after)
+        if result.status.name in ("APPLIED", "PSEUDO"):
+            self._remember(key, after)
+        else:
+            self._cache.pop(key, None)
+        return result
+
+    def delete(self, key: int) -> OperationResult:
+        """Delete through the client and the cache."""
+        self._cache.pop(key, None)
+        return self.client.delete(key)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _remember(self, key: int, value: bytes) -> None:
+        self._cache.pop(key, None)
+        self._cache[key] = bytes(value)
+        while len(self._cache) > self.capacity:
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+
+    def _touch(self, key: int) -> None:
+        value = self._cache.pop(key)
+        self._cache[key] = value
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,116 @@
+"""LH* linear-hashing addressing (Litwin, Neimat, Schneider [LNS96]).
+
+LH* is the hash-based SDDS the paper deploys signatures in.  The file
+grows by *splitting* buckets in a fixed linear order tracked by the
+split pointer ``n`` at level ``i``; the address of a key ``C`` is::
+
+    a = h_i(C);  if a < n: a = h_{i+1}(C)        with h_i(C) = C mod N*2^i
+
+Clients cache a possibly *outdated* image ``(i', n')`` and may address
+the wrong server; servers verify and forward (at most twice -- the LH*
+bound), and the correct server sends the client an Image Adjustment
+Message (IAM) so the same mistake is never repeated.
+
+This module is pure addressing mathematics, shared by the server
+forwarding logic, the client image, and the coordinator; the moving
+parts live in :mod:`repro.sdds.server` / :mod:`repro.sdds.file`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SDDSError
+
+
+class LHAddressing:
+    """The h_i family and the LH* address-calculation algorithms."""
+
+    def __init__(self, initial_buckets: int = 1):
+        if initial_buckets < 1:
+            raise SDDSError("LH* needs at least one initial bucket")
+        self.N = initial_buckets
+
+    def h(self, level: int, key: int) -> int:
+        """The level-``level`` hash: ``key mod N * 2^level``."""
+        if level < 0:
+            raise SDDSError("hash level cannot be negative")
+        return key % (self.N << level)
+
+    def bucket_count(self, level: int, split_pointer: int) -> int:
+        """Number of buckets in file state ``(i, n)``."""
+        return (self.N << level) + split_pointer
+
+    # ------------------------------------------------------------------
+    # The three LH* algorithms
+    # ------------------------------------------------------------------
+
+    def client_address(self, key: int, image_level: int, image_pointer: int) -> int:
+        """Where the *client* sends a key, given its (possibly stale) image."""
+        address = self.h(image_level, key)
+        if address < image_pointer:
+            address = self.h(image_level + 1, key)
+        return address
+
+    def server_forward(self, key: int, bucket_id: int, bucket_level: int) -> int | None:
+        """Server-side address verification.
+
+        Returns ``None`` when the key belongs here, else the address to
+        forward to.  This is the [LNS96] guess-correction: with it, any
+        client-addressed message reaches the correct bucket in at most
+        two forwards regardless of how stale the client image is.
+        """
+        address = self.h(bucket_level, key)
+        if address == bucket_id:
+            return None
+        if bucket_level > 0:
+            candidate = self.h(bucket_level - 1, key)
+            if bucket_id < candidate < address:
+                address = candidate
+        return address
+
+    def adjust_image(self, image: "ClientImage", server_level: int,
+                     server_address: int) -> "ClientImage":
+        """Client image adjustment upon an IAM.
+
+        The IAM carries the level and address of the first server that
+        received the misdirected request.  The returned image is never
+        *ahead* of the true file state, so the client's next guess for
+        this key region is correct.
+        """
+        level, pointer = image.level, image.pointer
+        if server_level > level:
+            level = server_level - 1
+            pointer = server_address + 1
+        if pointer >= self.N << level:
+            pointer = 0
+            level += 1
+        return ClientImage(level, pointer)
+
+
+@dataclass(frozen=True, slots=True)
+class ClientImage:
+    """A client's view ``(i', n')`` of the LH* file state.
+
+    New clients start at ``(0, 0)`` -- the file's initial state -- and
+    learn lazily through IAMs (Section 2: the client "manages the query
+    delivery ... to the appropriate servers" from this image).
+    """
+
+    level: int = 0
+    pointer: int = 0
+
+
+@dataclass(slots=True)
+class FileState:
+    """The coordinator's authoritative ``(i, n)`` state."""
+
+    level: int = 0
+    pointer: int = 0
+
+    def after_split(self, addressing: LHAddressing) -> None:
+        """Advance the split pointer, rolling the level when it wraps."""
+        self.pointer += 1
+        if self.pointer >= addressing.N << self.level:
+            self.pointer = 0
+            self.level += 1

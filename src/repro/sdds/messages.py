@@ -1,0 +1,72 @@
+"""Message kinds and payload sizing for the SDDS wire protocol.
+
+The update experiments (E6) hinge on *which* messages a protocol sends
+and how large they are: a pseudo-update detected at the client sends
+nothing at all, a blind update ships a 4-byte signature instead of a
+multi-KB record, and so on.  Centralizing the payload arithmetic keeps
+the accounting honest across protocols and baselines.
+"""
+
+from __future__ import annotations
+
+from .record import KEY_BYTES
+
+#: Fixed per-message envelope: operation code, file id, addresses.
+HEADER_BYTES = 16
+
+# Message kinds (the TrafficStats categories).
+KEY_SEARCH = "key_search"
+SEARCH_REPLY = "search_reply"
+INSERT = "insert"
+INSERT_ACK = "insert_ack"
+DELETE = "delete"
+DELETE_ACK = "delete_ack"
+UPDATE = "update"
+UPDATE_ACK = "update_ack"
+UPDATE_CONFLICT = "update_conflict"
+SIG_REQUEST = "sig_request"
+SIG_REPLY = "sig_reply"
+FORWARD = "forward"
+IAM = "iam"
+SCAN_REQUEST = "scan_request"
+SCAN_REPLY = "scan_reply"
+SPLIT_TRANSFER = "split_transfer"
+
+
+def key_payload() -> int:
+    """Size of a message carrying just a key."""
+    return HEADER_BYTES + KEY_BYTES
+
+
+def record_payload(value_bytes: int) -> int:
+    """Size of a message carrying a full record."""
+    return HEADER_BYTES + KEY_BYTES + value_bytes
+
+
+def signature_payload(signature_bytes: int) -> int:
+    """Size of a message carrying a key plus one signature."""
+    return HEADER_BYTES + KEY_BYTES + signature_bytes
+
+
+def update_payload(value_bytes: int, signature_bytes: int) -> int:
+    """Size of an update message: key, after-image, before-signature."""
+    return HEADER_BYTES + KEY_BYTES + value_bytes + signature_bytes
+
+
+def ack_payload() -> int:
+    """Size of a bare acknowledgement."""
+    return HEADER_BYTES
+
+
+def scan_request_payload(signature_bytes: int) -> int:
+    """Scan request: pattern length (4 B) plus the pattern's signature.
+
+    The point of Section 2.3: the client ships the signature, *not* the
+    search string itself.
+    """
+    return HEADER_BYTES + 4 + signature_bytes
+
+
+def scan_reply_payload(record_value_sizes: list[int]) -> int:
+    """Scan reply: every candidate record, in full."""
+    return HEADER_BYTES + sum(KEY_BYTES + size for size in record_value_sizes)

@@ -1,0 +1,19 @@
+"""Distributed string search through signatures (Sections 2.3, 5.2)."""
+
+from .scan import (
+    ScanResult,
+    build_record_field,
+    scan_naive,
+    scan_with_karp_rabin,
+    scan_with_signatures,
+    scan_with_xor,
+)
+
+__all__ = [
+    "ScanResult",
+    "build_record_field",
+    "scan_with_signatures",
+    "scan_with_xor",
+    "scan_with_karp_rabin",
+    "scan_naive",
+]

@@ -1,0 +1,127 @@
+"""Single-buffer search harness behind the E7 experiment (Section 5.2).
+
+The paper's search experiment slides a signature window over 8000
+records with a 60 B non-key field, placing the 3-byte needle in the
+third-last record, and compares against a Karp-Rabin-style byte-XOR
+scan.  These helpers reproduce that setup as pure functions over an
+in-memory bucket of records; the *distributed* version (client sends
+length + signature, servers return candidates) is
+:meth:`repro.sdds.client.BaseSDDSClient.scan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.karp_rabin import KarpRabinFingerprint, xor_fold_search
+from ..errors import SDDSError
+from ..sig.rolling import find_signature_matches
+from ..sig.scheme import AlgebraicSignatureScheme
+
+
+@dataclass(frozen=True, slots=True)
+class ScanResult:
+    """Records hit plus the work accounting of one scan."""
+
+    record_indices: tuple[int, ...]
+    candidates: int        #: signature hits before verification
+    verified: int          #: exact matches after verification
+
+
+def build_record_field(record_count: int, field_bytes: int, needle: bytes,
+                       needle_record: int, seed: int = 0) -> list[bytes]:
+    """The paper's workload: ``record_count`` non-key fields, one planted needle.
+
+    Fields are ASCII letters (the paper's records are 1 B ASCII chars);
+    the needle replaces the start of record ``needle_record``.
+    """
+    if not 0 <= needle_record < record_count:
+        raise SDDSError("needle record index out of range")
+    if len(needle) > field_bytes:
+        raise SDDSError("needle longer than the record field")
+    rng = np.random.default_rng(seed)
+    letters = rng.integers(ord("a"), ord("z") + 1,
+                           size=(record_count, field_bytes), dtype=np.uint8)
+    fields = [row.tobytes() for row in letters]
+    fields[needle_record] = needle + fields[needle_record][len(needle):]
+    return fields
+
+
+def scan_with_signatures(scheme: AlgebraicSignatureScheme, fields: list[bytes],
+                         needle: bytes) -> ScanResult:
+    """Signature scan over every record, client-side verification.
+
+    Handles the GF(2^16) byte-alignment problem exactly as the SDDS
+    client does: search the even-length core on both byte alignments,
+    verify the full needle in candidate records.
+    """
+    if not needle:
+        raise SDDSError("cannot scan for an empty pattern")
+    if scheme.field.f == 16:
+        core = needle if len(needle) % 2 == 0 else needle[:-1]
+        if len(core) < 2:
+            raise SDDSError("GF(2^16) scans need patterns of at least 2 bytes")
+        window = len(core) // 2
+        alignments = 2
+    else:
+        core, window, alignments = needle, len(needle), 1
+    target = scheme.sign(core)
+    hits = []
+    candidates = 0
+    for index, value in enumerate(fields):
+        found = False
+        for shift in range(alignments):
+            symbols = scheme.signable_symbols(value[shift:])
+            if window <= symbols.size and find_signature_matches(
+                scheme, symbols, target, window
+            ):
+                found = True
+                break
+        if found:
+            candidates += 1
+            if needle in value:
+                hits.append(index)
+    return ScanResult(tuple(hits), candidates, len(hits))
+
+
+def scan_with_xor(fields: list[bytes], needle: bytes) -> ScanResult:
+    """The byte-XOR control scan of Section 5.2."""
+    hits = []
+    candidates = 0
+    for index, value in enumerate(fields):
+        matches = xor_fold_search(value, needle)
+        if matches or _xor_candidates(value, needle):
+            candidates += 1
+        if matches:
+            hits.append(index)
+    return ScanResult(tuple(hits), candidates, len(hits))
+
+
+def _xor_candidates(value: bytes, needle: bytes) -> bool:
+    """Whether the XOR fold produced any (possibly false) window hit."""
+    m = len(needle)
+    if m == 0 or m > len(value):
+        return False
+    hay = np.frombuffer(value, dtype=np.uint8).astype(np.int64)
+    prefix = np.zeros(hay.size + 1, dtype=np.int64)
+    np.bitwise_xor.accumulate(hay, out=prefix[1:])
+    window_folds = prefix[m:] ^ prefix[:-m]
+    target = 0
+    for byte in needle:
+        target ^= byte
+    return bool((window_folds == target).any())
+
+
+def scan_with_karp_rabin(fields: list[bytes], needle: bytes) -> ScanResult:
+    """Classic integer-modulus Karp-Rabin scan over every record."""
+    kr = KarpRabinFingerprint()
+    hits = [index for index, value in enumerate(fields) if kr.search(value, needle)]
+    return ScanResult(tuple(hits), len(hits), len(hits))
+
+
+def scan_naive(fields: list[bytes], needle: bytes) -> ScanResult:
+    """Plain ``in`` scan -- ground truth for all the others."""
+    hits = [index for index, value in enumerate(fields) if needle in value]
+    return ScanResult(tuple(hits), len(hits), len(hits))

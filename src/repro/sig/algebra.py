@@ -1,0 +1,113 @@
+"""Signature algebra: the operational content of Propositions 3 and 5.
+
+These functions let applications *compute with signatures themselves*:
+
+* Proposition 3 -- the signature of an updated page equals the old
+  signature plus the (position-shifted) signature of the delta string.
+  Databases exploit this because a typical attribute update touches only
+  a few symbols: :func:`apply_update` re-signs a record in O(|delta|)
+  instead of O(|record|).
+* Proposition 5 -- the signature of a concatenation ``P1|P2`` is
+  ``sig(P1) + alpha^l * sig(P2)``.  This is what makes compound
+  signatures and signature *trees* algebraic rather than ad hoc.
+"""
+
+from __future__ import annotations
+
+from ..errors import SignatureError
+from .scheme import AlgebraicSignatureScheme
+from .signature import Signature
+
+
+def shift(scheme: AlgebraicSignatureScheme, sig: Signature, positions: int) -> Signature:
+    """Signature of the page obtained by prefixing ``positions`` zero symbols.
+
+    Component ``j`` is multiplied by ``beta_j^positions``; this is the
+    ``alpha^r``-scaling that appears in Propositions 3 and 5.
+    """
+    if sig.scheme_id != scheme.scheme_id:
+        raise SignatureError("signature does not belong to this scheme")
+    if positions < 0:
+        raise SignatureError("shift distance must be non-negative")
+    field = scheme.field
+    components = tuple(
+        field.mul(component, field.pow(beta, positions))
+        for component, beta in zip(sig.components, scheme.base.betas)
+    )
+    return Signature(components, scheme.scheme_id)
+
+
+def delta_signature(scheme: AlgebraicSignatureScheme, before_region, after_region) -> Signature:
+    """Signature of the delta string between two equal-length regions.
+
+    The delta of Proposition 3 is ``delta_i = p_{r+i} - q_{r+i}``, which
+    in characteristic 2 is the symbol-wise XOR of the two regions.
+    Computed as ``sig(before) + sig(after)`` -- equivalent by linearity
+    for plain schemes, and the *only* correct form for twisted schemes
+    (Proposition 6), whose delta lives in the phi-image domain:
+    ``phi(p) + phi(q) != phi(p + q)`` in general.
+    """
+    before = scheme.to_symbols(before_region)
+    after = scheme.to_symbols(after_region)
+    if before.size != after.size:
+        raise SignatureError(
+            f"delta regions must have equal length, got {before.size} vs {after.size}"
+        )
+    # Sign the original regions (``to_symbols`` above is only the length
+    # check): twisted schemes apply their bijection inside ``sign``.
+    return scheme.sign(before_region) ^ scheme.sign(after_region)
+
+
+def apply_delta(scheme: AlgebraicSignatureScheme, old_sig: Signature,
+                delta_sig: Signature, position: int) -> Signature:
+    """Proposition 3: ``sig(P') = sig(P) + alpha^r * sig(delta)``.
+
+    ``position`` is the symbol offset ``r`` where the replaced region
+    starts.  Works in O(n) field operations regardless of page size.
+    """
+    return old_sig ^ shift(scheme, delta_sig, position)
+
+
+def apply_update(scheme: AlgebraicSignatureScheme, old_sig: Signature,
+                 before_region, after_region, position: int) -> Signature:
+    """Re-sign a page after replacing the region at ``position``.
+
+    Combines :func:`delta_signature` and :func:`apply_delta`: the caller
+    supplies the old and new content of the changed region only.  This is
+    the paper's fast path for record updates and for the RAID-5 update
+    log verification sketched in Section 4.1.
+    """
+    return apply_delta(
+        scheme, old_sig, delta_signature(scheme, before_region, after_region), position
+    )
+
+
+def concat(scheme: AlgebraicSignatureScheme, left: Signature, left_symbols: int,
+           right: Signature) -> Signature:
+    """Proposition 5: signature of ``P1|P2`` from the parts.
+
+    ``left_symbols`` is the length ``l`` of ``P1`` in symbols; component
+    ``j`` of the result is ``sig_j(P1) + beta_j^l * sig_j(P2)``.
+    """
+    left.check_compatible(right)
+    if left.scheme_id != scheme.scheme_id:
+        raise SignatureError("signatures do not belong to this scheme")
+    if left_symbols < 0:
+        raise SignatureError("left length must be non-negative")
+    return left ^ shift(scheme, right, left_symbols)
+
+
+def concat_all(scheme: AlgebraicSignatureScheme,
+               parts: list[tuple[Signature, int]]) -> tuple[Signature, int]:
+    """Fold :func:`concat` over ``(signature, symbol_length)`` parts.
+
+    Returns the signature of the full concatenation and its total symbol
+    length.  This is how a signature-tree node derives its signature
+    algebraically from its children (Section 4.2, Figure 3).
+    """
+    total_sig = scheme.zero
+    total_len = 0
+    for part_sig, part_len in parts:
+        total_sig = concat(scheme, total_sig, total_len, part_sig)
+        total_len += part_len
+    return total_sig, total_len

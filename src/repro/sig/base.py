@@ -1,0 +1,103 @@
+"""Signature bases: the vector alpha of base coordinates (Section 4.1).
+
+A base is a vector ``(beta_1, ..., beta_n)`` of distinct non-zero field
+elements.  The paper studies two families:
+
+* ``sig_{alpha,n}`` -- *consecutive powers* ``(alpha, alpha^2, ..., alpha^n)``
+  of a primitive alpha.  This family carries Proposition 1: certain
+  detection of any change of up to n symbols.
+* ``sig'_{alpha,n}`` -- *all-primitive powers* ``(alpha^(2^0), alpha^(2^1),
+  ..., alpha^(2^(n-1)))``.  Since powers of two are coprime with 2^f - 1,
+  every coordinate is itself primitive, which yields the strongest
+  cut-and-paste behaviour (Proposition 4).
+
+For n <= 2 the two families coincide, which is why the paper's deployed
+configuration (GF(2^16), n = 2) enjoys both guarantees at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SignatureError
+from ..gf.field import GField
+
+#: Variant tag for the consecutive-powers base (the paper's sig).
+STANDARD = "standard"
+#: Variant tag for the all-primitive-powers base (the paper's sig').
+PRIMITIVE = "primitive"
+
+
+@dataclass(frozen=True, slots=True)
+class SignatureBase:
+    """A validated signature base over a specific field."""
+
+    field: GField
+    betas: tuple[int, ...]      #: the base coordinates
+    exponents: tuple[int, ...]  #: log_alpha of each coordinate
+    variant: str                #: STANDARD, PRIMITIVE, or a custom tag
+
+    @property
+    def n(self) -> int:
+        """Number of coordinates (signature length in symbols)."""
+        return len(self.betas)
+
+    def __post_init__(self) -> None:
+        if not self.betas:
+            raise SignatureError("signature base must have at least one coordinate")
+        if len(set(self.betas)) != len(self.betas):
+            raise SignatureError("signature base coordinates must be distinct")
+        if any(b == 0 for b in self.betas):
+            raise SignatureError("signature base coordinates must be non-zero")
+
+
+def consecutive_powers_base(field: GField, n: int, alpha: int | None = None) -> SignatureBase:
+    """Build the ``sig_{alpha,n}`` base ``(alpha, alpha^2, ..., alpha^n)``.
+
+    ``alpha`` defaults to the field's canonical primitive element ``x``
+    and must be primitive: Proposition 1 needs ``ord(alpha) = 2^f - 1``
+    and ``n`` distinct coordinates below that order.
+    """
+    alpha = field.alpha if alpha is None else alpha
+    _check_alpha(field, alpha, n)
+    exponents = tuple((field.log(alpha) * j) % field.order for j in range(1, n + 1))
+    betas = tuple(field.antilog(e) for e in exponents)
+    return SignatureBase(field, betas, exponents, STANDARD)
+
+
+def primitive_powers_base(field: GField, n: int, alpha: int | None = None) -> SignatureBase:
+    """Build the ``sig'_{alpha,n}`` base ``(alpha^1, alpha^2, alpha^4, ...)``.
+
+    Coordinate ``i`` is ``alpha^(2^i)``; every exponent ``2^i`` is coprime
+    with ``2^f - 1`` (odd group order), so every coordinate is primitive.
+    """
+    alpha = field.alpha if alpha is None else alpha
+    _check_alpha(field, alpha, n)
+    exponents = tuple((field.log(alpha) * (1 << i)) % field.order for i in range(n))
+    betas = tuple(field.antilog(e) for e in exponents)
+    if len(set(betas)) != n:
+        raise SignatureError(
+            f"alpha^(2^i) coordinates collide for n={n} in GF(2^{field.f}); "
+            "choose a larger field or smaller n"
+        )
+    return SignatureBase(field, betas, exponents, PRIMITIVE)
+
+
+def make_base(field: GField, n: int, variant: str = STANDARD, alpha: int | None = None) -> SignatureBase:
+    """Factory dispatching on the variant tag."""
+    if variant == STANDARD:
+        return consecutive_powers_base(field, n, alpha)
+    if variant == PRIMITIVE:
+        return primitive_powers_base(field, n, alpha)
+    raise SignatureError(f"unknown signature base variant: {variant!r}")
+
+
+def _check_alpha(field: GField, alpha: int, n: int) -> None:
+    if not field.is_primitive_element(alpha):
+        raise SignatureError(
+            f"base element {alpha:#x} is not primitive in GF(2^{field.f})"
+        )
+    if not 1 <= n < field.order:
+        raise SignatureError(
+            f"signature length n={n} must satisfy 1 <= n < 2^f - 1 = {field.order}"
+        )

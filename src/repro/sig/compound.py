@@ -1,0 +1,179 @@
+"""Compound signatures: the per-page signature map of Sections 2.1 and 4.2.
+
+A bucket can hold hundreds of MB while Proposition 1's certainty bound
+covers at most ``2^f - 2`` symbols per page.  The compound signature is
+the vector of page signatures of a bucket sliced into fixed-size pages;
+with it, any change of up to ``n`` symbols *within any page* is detected
+with certainty, and the backup engine learns exactly which pages to
+rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import SignatureError
+from .scheme import AlgebraicSignatureScheme
+from .signature import Signature
+
+
+@dataclass(frozen=True, slots=True)
+class PageSlice:
+    """One page of a sliced buffer: its index, symbol offset and symbols."""
+
+    index: int
+    offset: int          #: symbol offset of the page within the buffer
+    symbols: np.ndarray
+
+    @property
+    def length(self) -> int:
+        """Page length in symbols (the final page may be short)."""
+        return self.symbols.size
+
+
+def slice_pages(scheme: AlgebraicSignatureScheme, data, page_symbols: int) -> Iterator[PageSlice]:
+    """Slice a buffer into pages of ``page_symbols`` symbols.
+
+    The page size must respect the Proposition-1 bound so every page
+    keeps the certain-detection property.
+    """
+    if page_symbols <= 0:
+        raise SignatureError("page size must be positive")
+    if page_symbols > scheme.max_page_symbols:
+        raise SignatureError(
+            f"page of {page_symbols} symbols exceeds the certainty bound "
+            f"{scheme.max_page_symbols} for GF(2^{scheme.field.f})"
+        )
+    symbols = scheme.signable_symbols(data)
+    for index, start in enumerate(range(0, symbols.size, page_symbols)):
+        yield PageSlice(index, start, symbols[start:start + page_symbols])
+
+
+class SignatureMap:
+    """The m-fold compound signature of a buffer: one signature per page.
+
+    This is exactly the disk-resident *signature map* of Section 2.1: the
+    backup engine recomputes the page signature before writing and skips
+    the write when the map entry is unchanged.
+
+    Examples
+    --------
+    >>> from repro.sig import make_scheme
+    >>> scheme = make_scheme()
+    >>> a = SignatureMap.compute(scheme, b"x" * 4096, page_symbols=512)
+    >>> b = SignatureMap.compute(scheme, b"x" * 2048 + b"y" + b"x" * 2047, 512)
+    >>> a.changed_pages(b)
+    [2]
+    """
+
+    def __init__(self, scheme: AlgebraicSignatureScheme, page_symbols: int,
+                 signatures: list[Signature], total_symbols: int):
+        self.scheme = scheme
+        self.page_symbols = page_symbols
+        self.signatures = signatures
+        self.total_symbols = total_symbols
+
+    @classmethod
+    def compute(cls, scheme: AlgebraicSignatureScheme, data, page_symbols: int) -> "SignatureMap":
+        """Sign every page of ``data`` (bytes or symbol sequence)."""
+        signatures = []
+        total = 0
+        for page in slice_pages(scheme, data, page_symbols):
+            signatures.append(scheme.sign_mapped(page.symbols))
+            total += page.length
+        return cls(scheme, page_symbols, signatures, total)
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages (the m of an m-fold compound signature)."""
+        return len(self.signatures)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def __getitem__(self, index: int) -> Signature:
+        return self.signatures[index]
+
+    def __iter__(self) -> Iterator[Signature]:
+        return iter(self.signatures)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignatureMap):
+            return NotImplemented
+        return (
+            self.scheme.scheme_id == other.scheme.scheme_id
+            and self.page_symbols == other.page_symbols
+            and self.signatures == other.signatures
+        )
+
+    def _check_comparable(self, other: "SignatureMap") -> None:
+        if self.scheme.scheme_id != other.scheme.scheme_id:
+            raise SignatureError("signature maps from different schemes")
+        if self.page_symbols != other.page_symbols:
+            raise SignatureError(
+                f"signature maps with different page sizes: "
+                f"{self.page_symbols} vs {other.page_symbols}"
+            )
+
+    def changed_pages(self, other: "SignatureMap") -> list[int]:
+        """Indices of pages whose signatures differ between the two maps.
+
+        Pages present in only one map (the buffers had different lengths)
+        are reported as changed.
+        """
+        self._check_comparable(other)
+        longest = max(len(self), len(other))
+        changed = []
+        for index in range(longest):
+            mine = self.signatures[index] if index < len(self) else None
+            theirs = other.signatures[index] if index < len(other) else None
+            if mine != theirs:
+                changed.append(index)
+        return changed
+
+    def update_page(self, index: int, page_data) -> None:
+        """Replace the signature of one page after its content changed."""
+        if not 0 <= index < len(self.signatures):
+            raise SignatureError(f"page index {index} out of range")
+        self.signatures[index] = self.scheme.sign(page_data)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the map (the on-disk form next to the bucket image)."""
+        header = (
+            self.page_symbols.to_bytes(4, "little")
+            + self.total_symbols.to_bytes(8, "little")
+            + len(self.signatures).to_bytes(4, "little")
+        )
+        return header + b"".join(sig.to_bytes() for sig in self.signatures)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, scheme: AlgebraicSignatureScheme) -> "SignatureMap":
+        """Deserialize a map produced by :meth:`to_bytes`."""
+        if len(data) < 16:
+            raise SignatureError("truncated signature map header")
+        page_symbols = int.from_bytes(data[0:4], "little")
+        total_symbols = int.from_bytes(data[4:12], "little")
+        count = int.from_bytes(data[12:16], "little")
+        width = scheme.scheme_id.signature_bytes
+        expected = 16 + count * width
+        if len(data) != expected:
+            raise SignatureError(
+                f"signature map body must be {expected} bytes, got {len(data)}"
+            )
+        signatures = [
+            Signature.from_bytes(data[16 + i * width:16 + (i + 1) * width], scheme.scheme_id)
+            for i in range(count)
+        ]
+        return cls(scheme, page_symbols, signatures, total_symbols)
+
+    @property
+    def map_bytes(self) -> int:
+        """In-RAM size of the map payload (signature bytes only).
+
+        Section 2.1 requires the map to fit in RAM or even L2; for the
+        paper's choice this is 4 bytes per 16 KB page — 256 B per MB.
+        """
+        return len(self.signatures) * self.scheme.scheme_id.signature_bytes

@@ -1,0 +1,90 @@
+"""Multi-pattern signature search: many needles, one pass per length.
+
+The SDDS scan of Section 2.3 ships one pattern signature per query.  A
+client searching for several strings at once can do better: patterns of
+the same length share the window-signature computation, so the server
+slides each window *once* and checks membership in a signature set --
+the natural n-gram generalization Cohen [C97] studies for recursive
+hashing, transplanted to the algebraic signature.
+
+Byte haystacks are fully supported for GF(2^8) schemes.  For GF(2^16)
+(2-byte symbols over byte strings) patterns must have even length and
+both byte alignments are scanned, mirroring the alignment handling of
+the single-pattern SDDS scan (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import SignatureError
+from ..gf.vectorized import all_window_signatures
+from .scheme import AlgebraicSignatureScheme
+
+
+class MultiPatternSearcher:
+    """Searches any number of byte patterns in one pass per distinct length."""
+
+    def __init__(self, scheme: AlgebraicSignatureScheme, patterns: list[bytes]):
+        if not patterns:
+            raise SignatureError("need at least one pattern")
+        self.scheme = scheme
+        self.patterns = [bytes(pattern) for pattern in patterns]
+        self._symbol_bytes = scheme.scheme_id.symbol_bytes
+        for pattern in self.patterns:
+            if not pattern:
+                raise SignatureError("cannot search for an empty pattern")
+            if len(pattern) % self._symbol_bytes:
+                raise SignatureError(
+                    f"patterns must be a multiple of the {self._symbol_bytes}-byte "
+                    "symbol (search an even-length core and verify the rest)"
+                )
+        #: symbol length -> {signature components -> [pattern indices]}
+        self._by_length: dict[int, dict[tuple[int, ...], list[int]]] = \
+            defaultdict(dict)
+        for index, pattern in enumerate(self.patterns):
+            symbols = scheme.signable_symbols(pattern)
+            if symbols.size > scheme.max_page_symbols:
+                raise SignatureError("pattern exceeds the scheme's page bound")
+            signature = scheme.sign_mapped(symbols)
+            bucket = self._by_length[symbols.size]
+            bucket.setdefault(signature.components, []).append(index)
+
+    def search(self, haystack: bytes) -> dict[int, list[int]]:
+        """Exact byte offsets per pattern index (Las Vegas: verified).
+
+        Returns ``{pattern_index: [byte_offsets...]}`` containing only
+        patterns that occur.  Signature candidates are verified against
+        the actual bytes, so false positives never escape.
+        """
+        haystack = bytes(haystack)
+        results: dict[int, set[int]] = defaultdict(set)
+        for alignment in range(self._symbol_bytes):
+            stream = haystack[alignment:]
+            symbols = self.scheme.signable_symbols(stream)
+            for window, signature_index in self._by_length.items():
+                if window > symbols.size:
+                    continue
+                self._scan_stream(
+                    haystack, alignment, symbols, window, signature_index,
+                    results,
+                )
+        return {index: sorted(offsets) for index, offsets in results.items()}
+
+    def _scan_stream(self, haystack, alignment, symbols, window,
+                     signature_index, results) -> None:
+        per_component = [
+            all_window_signatures(self.scheme.field, symbols, beta, window)
+            for beta in self.scheme.base.betas
+        ]
+        n_windows = symbols.size - window + 1
+        for offset in range(n_windows):
+            components = tuple(int(comp[offset]) for comp in per_component)
+            pattern_indices = signature_index.get(components)
+            if not pattern_indices:
+                continue
+            byte_offset = alignment + offset * self._symbol_bytes
+            for pattern_index in pattern_indices:
+                pattern = self.patterns[pattern_index]
+                if haystack[byte_offset:byte_offset + len(pattern)] == pattern:
+                    results[pattern_index].add(byte_offset)

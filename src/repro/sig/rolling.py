@@ -1,0 +1,132 @@
+"""Rolling (sliding-window) signatures for substring search (Section 2.3).
+
+Like Karp-Rabin fingerprints -- from which the algebraic signature
+descends -- the 1-symbol signature of a sliding window can be maintained
+in O(1) field operations per shift:
+
+    sig(P[k+1 : k+m+1]) = (sig(P[k : k+m]) + p_k) * beta^{-1}
+                          + p_{k+m} * beta^{m-1}
+
+:class:`RollingWindow` implements exactly that recurrence per component;
+:func:`find_signature_matches` is the bulk (numpy) variant used by SDDS
+servers to scan whole buckets, and :func:`search` runs the full Las Vegas
+protocol (candidate positions verified against the actual pattern).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import SignatureError
+from ..gf.vectorized import all_window_signatures
+from .scheme import AlgebraicSignatureScheme
+from .signature import Signature
+
+
+class RollingWindow:
+    """Incrementally maintained n-symbol signature of a sliding window.
+
+    Feed symbols with :meth:`slide`; :attr:`signature` is always the
+    signature of the last ``window`` symbols pushed (position-normalized,
+    i.e. equal to ``scheme.sign(window_content)``).
+    """
+
+    def __init__(self, scheme: AlgebraicSignatureScheme, window: int):
+        if window <= 0:
+            raise SignatureError("window length must be positive")
+        if window > scheme.max_page_symbols:
+            raise SignatureError("window exceeds the scheme's page bound")
+        self.scheme = scheme
+        self.window = window
+        field = scheme.field
+        self._betas = scheme.base.betas
+        self._beta_invs = tuple(field.inv(beta) for beta in self._betas)
+        self._beta_tops = tuple(field.pow(beta, window - 1) for beta in self._betas)
+        self._content: deque[int] = deque()
+        self._components = [0] * scheme.n
+
+    @property
+    def full(self) -> bool:
+        """True once ``window`` symbols have been pushed."""
+        return len(self._content) == self.window
+
+    @property
+    def signature(self) -> Signature:
+        """Signature of the current window content."""
+        return Signature(tuple(self._components), self.scheme.scheme_id)
+
+    def slide(self, symbol: int) -> None:
+        """Push one symbol; evicts the oldest symbol once the window is full.
+
+        While filling (fewer than ``window`` symbols seen) the incoming
+        symbol is placed at the next free position; afterwards each push
+        applies the O(1) Karp-Rabin-style recurrence.  Twisted schemes
+        map the symbol through phi first, so the window signature always
+        equals ``scheme.sign(window_content)``.
+        """
+        field = self.scheme.field
+        symbol = field.validate(int(
+            self.scheme.map_symbols(np.array([int(symbol)], dtype=np.int64))[0]
+        ))
+        if not self.full:
+            position = len(self._content)
+            self._content.append(symbol)
+            for j, beta in enumerate(self._betas):
+                self._components[j] ^= field.mul(symbol, field.pow(beta, position))
+            return
+        oldest = self._content.popleft()
+        self._content.append(symbol)
+        for j in range(self.scheme.n):
+            shifted = field.mul(self._components[j] ^ oldest, self._beta_invs[j])
+            self._components[j] = shifted ^ field.mul(symbol, self._beta_tops[j])
+
+
+def find_signature_matches(scheme: AlgebraicSignatureScheme, haystack,
+                           target: Signature, window: int) -> list[int]:
+    """Return every offset whose window signature equals ``target``.
+
+    Bulk variant: computes all window signatures per component with the
+    O(l) prefix kernel and intersects the per-component match sets.  May
+    contain false positives (collision probability 2^-nf per offset);
+    the Las Vegas caller verifies them.
+    """
+    if target.scheme_id != scheme.scheme_id:
+        raise SignatureError("target signature does not belong to this scheme")
+    symbols = np.asarray(haystack, dtype=np.int64) \
+        if isinstance(haystack, np.ndarray) else scheme.signable_symbols(haystack)
+    if window > symbols.size:
+        return []
+    matches: np.ndarray | None = None
+    for beta, component in zip(scheme.base.betas, target.components):
+        window_sigs = all_window_signatures(scheme.field, symbols, beta, window)
+        hits = window_sigs == component
+        matches = hits if matches is None else (matches & hits)
+        if not matches.any():
+            return []
+    return [int(i) for i in np.nonzero(matches)[0]]
+
+
+def search(scheme: AlgebraicSignatureScheme, haystack, needle) -> list[int]:
+    """Las Vegas substring search: signature scan plus exact verification.
+
+    This is the complete client-side protocol of Section 2.3 collapsed to
+    one node: compute the needle's signature, find candidate offsets by
+    signature, then verify each candidate against the actual bytes so
+    the result is exact (false positives are filtered, never returned).
+    """
+    haystack_symbols = scheme.signable_symbols(haystack)
+    needle_symbols = scheme.signable_symbols(needle)
+    if needle_symbols.size == 0:
+        raise SignatureError("cannot search for an empty pattern")
+    target = scheme.sign_mapped(needle_symbols)
+    candidates = find_signature_matches(
+        scheme, haystack, target, needle_symbols.size
+    )
+    return [
+        offset for offset in candidates
+        if np.array_equal(
+            haystack_symbols[offset:offset + needle_symbols.size], needle_symbols
+        )
+    ]

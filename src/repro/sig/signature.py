@@ -1,0 +1,157 @@
+"""The n-symbol algebraic signature value object.
+
+A signature is a tuple of ``n`` Galois-field symbols -- the component
+signatures of Section 4.1.  For the paper's production choice (GF(2^16),
+n = 2) a signature serializes to 4 bytes, versus 20 bytes for SHA-1.
+
+Signatures remember the identity of the scheme that produced them (field
+degree, generator polynomial, base exponents, scheme variant), so that
+comparing or algebraically combining signatures from incompatible
+schemes raises :class:`~repro.errors.SignatureMismatchError` instead of
+silently producing garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SignatureError, SignatureMismatchError
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeId:
+    """Identity of a signature scheme, embedded in every signature."""
+
+    f: int                    #: symbol width in bits
+    generator: int            #: generator polynomial of the field
+    exponents: tuple[int, ...]  #: log_alpha of each base coordinate
+    variant: str              #: "standard" (sig), "primitive" (sig'), "twisted-..."
+
+    @property
+    def n(self) -> int:
+        """Number of symbols in the signature."""
+        return len(self.exponents)
+
+    @property
+    def symbol_bytes(self) -> int:
+        """Bytes needed to store one symbol."""
+        return (self.f + 7) // 8
+
+    @property
+    def signature_bytes(self) -> int:
+        """Serialized size of a full signature, e.g. 4 for GF(2^16), n=2."""
+        return self.n * self.symbol_bytes
+
+    def to_bytes(self) -> bytes:
+        """Self-describing serialization of the scheme identity.
+
+        Persisted artifacts (signature-map archives, backups) embed this
+        so a reader can verify it holds the *same* scheme before trusting
+        any signature comparison -- signatures from different schemes are
+        incomparable garbage.
+        """
+        variant = self.variant.encode()
+        parts = [
+            self.f.to_bytes(1, "little"),
+            self.generator.to_bytes(4, "little"),
+            len(self.exponents).to_bytes(2, "little"),
+        ]
+        parts += [e.to_bytes(4, "little") for e in self.exponents]
+        parts += [len(variant).to_bytes(2, "little"), variant]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SchemeId":
+        """Inverse of :meth:`to_bytes`."""
+        if len(data) < 7:
+            raise SignatureError("truncated scheme identity")
+        f = data[0]
+        generator = int.from_bytes(data[1:5], "little")
+        n = int.from_bytes(data[5:7], "little")
+        offset = 7
+        if len(data) < offset + 4 * n + 2:
+            raise SignatureError("truncated scheme identity exponents")
+        exponents = tuple(
+            int.from_bytes(data[offset + 4 * i:offset + 4 * (i + 1)], "little")
+            for i in range(n)
+        )
+        offset += 4 * n
+        variant_len = int.from_bytes(data[offset:offset + 2], "little")
+        offset += 2
+        if len(data) != offset + variant_len:
+            raise SignatureError("truncated scheme identity variant")
+        variant = data[offset:offset + variant_len].decode()
+        return cls(f=f, generator=generator, exponents=exponents,
+                   variant=variant)
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """An n-symbol algebraic signature.
+
+    Attributes
+    ----------
+    components:
+        The component signatures ``(sig_{beta_1}(P), ..., sig_{beta_n}(P))``
+        as plain integers.
+    scheme_id:
+        Identity of the producing scheme, used for compatibility checks.
+    """
+
+    components: tuple[int, ...]
+    scheme_id: SchemeId
+
+    def __post_init__(self) -> None:
+        if len(self.components) != self.scheme_id.n:
+            raise SignatureError(
+                f"{len(self.components)} components for an n={self.scheme_id.n} scheme"
+            )
+
+    def check_compatible(self, other: "Signature") -> None:
+        """Raise unless ``other`` comes from the same scheme."""
+        if self.scheme_id != other.scheme_id:
+            raise SignatureMismatchError(
+                f"signatures from different schemes: {self.scheme_id} vs {other.scheme_id}"
+            )
+
+    def __xor__(self, other: "Signature") -> "Signature":
+        """Component-wise field addition (XOR) of two signatures.
+
+        This is the '+' of the paper's propositions; it is meaningful
+        whenever the two operands are signatures over the same base.
+        """
+        self.check_compatible(other)
+        combined = tuple(a ^ b for a, b in zip(self.components, other.components))
+        return Signature(combined, self.scheme_id)
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the signature of the all-zero page."""
+        return all(c == 0 for c in self.components)
+
+    def to_bytes(self) -> bytes:
+        """Serialize as little-endian fixed-width symbols (n * ceil(f/8) bytes)."""
+        width = self.scheme_id.symbol_bytes
+        return b"".join(c.to_bytes(width, "little") for c in self.components)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, scheme_id: SchemeId) -> "Signature":
+        """Inverse of :meth:`to_bytes`."""
+        width = scheme_id.symbol_bytes
+        expected = scheme_id.n * width
+        if len(data) != expected:
+            raise SignatureError(
+                f"serialized signature must be {expected} bytes, got {len(data)}"
+            )
+        components = tuple(
+            int.from_bytes(data[i * width:(i + 1) * width], "little")
+            for i in range(scheme_id.n)
+        )
+        return cls(components, scheme_id)
+
+    def hex(self) -> str:
+        """Compact hexadecimal rendering, e.g. ``'1f02a3b4'``."""
+        return self.to_bytes().hex()
+
+    def __str__(self) -> str:
+        return f"sig[{self.hex()}]"

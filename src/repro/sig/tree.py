@@ -1,0 +1,179 @@
+"""Signature trees (Section 4.2, Figure 3).
+
+A signature tree organizes a bucket's page signatures hierarchically:
+each internal node holds the signature of the *concatenation* of the data
+under it, computed **algebraically** from its children via Proposition 5
+-- no re-reading of page data.  When a page changes, every node on the
+leaf-to-root path changes, so comparing two trees localizes the changed
+pages while visiting only the differing subtrees: O(fanout * log m *
+changes) signature comparisons instead of O(m).
+
+Probabilistic caveat (inherent, not implementation): an internal node's
+signature is the signature of *all* data below it, a region usually far
+longer than the Proposition-1 certainty bound, so several page changes
+under one ancestor can cancel there with probability 2^-nf per node --
+2^-32 for the paper's GF(2^16)/n=2 configuration, but an observable
+2^-16 if a tree is built over a GF(2^8)/n=2 scheme.  The *flat* map
+retains per-page certainty regardless; the tree trades a 2^-nf sliver
+of it for O(log) localization.  (A hypothesis run against GF(2^8)
+actually found such a cancellation; see test_sig_compound_tree.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SignatureError
+from .algebra import concat_all
+from .compound import SignatureMap
+from .scheme import AlgebraicSignatureScheme
+from .signature import Signature
+
+
+@dataclass(frozen=True, slots=True)
+class TreeNode:
+    """One node: the signature and symbol length of its covered range."""
+
+    signature: Signature
+    symbols: int
+
+
+@dataclass(frozen=True, slots=True)
+class TreeDiff:
+    """Result of comparing two signature trees."""
+
+    changed_leaves: list[int]   #: indices of leaves whose signatures differ
+    nodes_compared: int         #: node comparisons performed (E9 metric)
+
+
+class SignatureTree:
+    """A fanout-k tree of algebraic signatures over a page sequence.
+
+    Level 0 is the page (leaf) level; the last level holds the single
+    root, whose signature equals the flat signature of the whole buffer
+    (verified by a property test).
+    """
+
+    def __init__(self, scheme: AlgebraicSignatureScheme, fanout: int,
+                 levels: list[list[TreeNode]]):
+        self.scheme = scheme
+        self.fanout = fanout
+        self.levels = levels
+
+    @classmethod
+    def from_leaves(cls, scheme: AlgebraicSignatureScheme,
+                    leaves: list[tuple[Signature, int]], fanout: int = 16) -> "SignatureTree":
+        """Build a tree from ``(signature, symbol_length)`` leaves."""
+        if fanout < 2:
+            raise SignatureError("tree fanout must be at least 2")
+        if not leaves:
+            raise SignatureError("cannot build a signature tree with no leaves")
+        levels = [[TreeNode(sig, length) for sig, length in leaves]]
+        while len(levels[-1]) > 1:
+            children = levels[-1]
+            parents = []
+            for start in range(0, len(children), fanout):
+                group = children[start:start + fanout]
+                sig, total = concat_all(
+                    scheme, [(node.signature, node.symbols) for node in group]
+                )
+                parents.append(TreeNode(sig, total))
+            levels.append(parents)
+        return cls(scheme, fanout, levels)
+
+    @classmethod
+    def from_map(cls, signature_map: SignatureMap, fanout: int = 16) -> "SignatureTree":
+        """Build a tree over an existing signature map.
+
+        All pages except possibly the last have ``page_symbols`` symbols.
+        """
+        lengths = [signature_map.page_symbols] * signature_map.page_count
+        if lengths:
+            tail = signature_map.total_symbols - signature_map.page_symbols * (
+                signature_map.page_count - 1
+            )
+            lengths[-1] = tail
+        leaves = list(zip(signature_map.signatures, lengths))
+        return cls.from_leaves(signature_map.scheme, leaves, fanout)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> TreeNode:
+        """The root node: signature of the entire buffer."""
+        return self.levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels, counting leaves (Figure 3 shows height 3)."""
+        return len(self.levels)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves (pages)."""
+        return len(self.levels[0])
+
+    def _check_comparable(self, other: "SignatureTree") -> None:
+        if self.scheme.scheme_id != other.scheme.scheme_id:
+            raise SignatureError("signature trees from different schemes")
+        if self.fanout != other.fanout or self.leaf_count != other.leaf_count:
+            raise SignatureError(
+                "signature trees must share fanout and leaf count to diff"
+            )
+
+    def diff(self, other: "SignatureTree") -> TreeDiff:
+        """Localize changed leaves, descending only into differing nodes."""
+        self._check_comparable(other)
+        compared = 1
+        if self.root.signature == other.root.signature:
+            return TreeDiff([], compared)
+        changed: list[int] = []
+        # Work list of (level, index) node coordinates whose subtrees differ.
+        top = len(self.levels) - 1
+        frontier = [(top, 0)]
+        while frontier:
+            level, index = frontier.pop()
+            if level == 0:
+                changed.append(index)
+                continue
+            child_level = level - 1
+            start = index * self.fanout
+            stop = min(start + self.fanout, len(self.levels[child_level]))
+            for child in range(start, stop):
+                compared += 1
+                mine = self.levels[child_level][child].signature
+                theirs = other.levels[child_level][child].signature
+                if mine != theirs:
+                    frontier.append((child_level, child))
+        return TreeDiff(sorted(changed), compared)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def update_leaf(self, index: int, signature: Signature, symbols: int | None = None) -> None:
+        """Replace one leaf and recompute its root path algebraically.
+
+        Only the nodes on the leaf-to-root path are recomputed (each from
+        its at-most-``fanout`` children via Proposition 5); the page data
+        itself is never touched.
+        """
+        if not 0 <= index < self.leaf_count:
+            raise SignatureError(f"leaf index {index} out of range")
+        old = self.levels[0][index]
+        self.levels[0][index] = TreeNode(
+            signature, old.symbols if symbols is None else symbols
+        )
+        child_index = index
+        for level in range(1, len(self.levels)):
+            parent_index = child_index // self.fanout
+            start = parent_index * self.fanout
+            stop = min(start + self.fanout, len(self.levels[level - 1]))
+            group = self.levels[level - 1][start:stop]
+            sig, total = concat_all(
+                self.scheme, [(node.signature, node.symbols) for node in group]
+            )
+            self.levels[level][parent_index] = TreeNode(sig, total)
+            child_index = parent_index

@@ -1,0 +1,28 @@
+"""Simulated multicomputer substrate: clock, network, disk, counters.
+
+Substitutes for the paper's physical test bed (P3/P4 nodes, 100 Mb/s
+Ethernet, local disks) per the DESIGN.md substitution table.  All cost
+models are explicit dataclasses so experiments can calibrate them to the
+paper's reported constants.
+"""
+
+from .clock import SimClock
+from .network import ETHERNET_100_MBPS, NetworkModel, SimNetwork
+from .disk import PAPER_SECONDS_PER_BYTE, DiskModel, SimDisk
+from .stats import DiskStats, TrafficStats
+from .interleave import InterleavingDriver, StepKind, SteppedUpdate
+
+__all__ = [
+    "SimClock",
+    "SimNetwork",
+    "NetworkModel",
+    "ETHERNET_100_MBPS",
+    "SimDisk",
+    "DiskModel",
+    "PAPER_SECONDS_PER_BYTE",
+    "TrafficStats",
+    "DiskStats",
+    "InterleavingDriver",
+    "SteppedUpdate",
+    "StepKind",
+]

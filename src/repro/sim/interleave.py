@@ -1,0 +1,165 @@
+"""Message-level interleaving of the Section 2.2 update protocol.
+
+The SDDS client API executes each operation as one synchronous exchange,
+which cannot express the race the optimistic check exists for: another
+client's update landing *between* this client's signature fetch and its
+conditional write.  :class:`SteppedUpdate` decomposes a blind update
+into its three protocol steps; :class:`InterleavingDriver` then runs any
+schedule of steps from many clients against a live file, so tests can
+enumerate or fuzz genuinely concurrent histories.
+
+The serializability invariant checked by the tests: the applied updates
+on each record form a chain -- every applied update's before-signature
+equals the signature left by the previous applied update.  Under the
+signature protocol no schedule can break this (a stale writer always
+rolls back); under the "trustworthy" policy almost any interleaving
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ReproError
+from ..sdds.server import UpdateOutcome
+from ..sig.signature import Signature
+
+
+class StepKind(Enum):
+    """The three client-visible steps of a blind update."""
+
+    FETCH_SIGNATURE = "fetch"
+    COMPUTE = "compute"
+    SEND_UPDATE = "send"
+
+
+@dataclass
+class SteppedUpdate:
+    """One blind update, advanced step by step by a scheduler.
+
+    States: created -> fetched -> computed -> finished, with ``outcome``
+    set at the end (APPLIED / CONFLICT / PSEUDO).
+    """
+
+    client_name: str
+    key: int
+    new_value: bytes
+    #: filled by the steps
+    fetched_signature: Signature | None = None
+    own_signature: Signature | None = None
+    outcome: str | None = None
+    steps_done: list[StepKind] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        """True once the update reached a terminal outcome."""
+        return self.outcome is not None
+
+
+class InterleavingDriver:
+    """Runs stepped updates against an SDDS file under any schedule."""
+
+    def __init__(self, file):
+        self.file = file
+        self.scheme = file.scheme
+        self._updates: dict[str, SteppedUpdate] = {}
+        #: per-key applied history: list of (before_sig, after_sig, client)
+        self.history: dict[int, list[tuple[Signature, Signature, str]]] = {}
+
+    def begin(self, client_name: str, key: int, new_value: bytes) -> str:
+        """Register an update intention; returns its handle (the name)."""
+        if client_name in self._updates and not self._updates[client_name].finished:
+            raise ReproError(f"client {client_name} already has an update in flight")
+        self._updates[client_name] = SteppedUpdate(client_name, key, new_value)
+        return client_name
+
+    def step(self, client_name: str) -> str | None:
+        """Advance one client's update by one protocol step.
+
+        Returns the update's outcome string when it finishes, else None.
+        """
+        update = self._updates[client_name]
+        if update.finished:
+            raise ReproError(f"update of {client_name} already finished")
+        server = self._server_for(update.key)
+        if StepKind.FETCH_SIGNATURE not in update.steps_done:
+            update.fetched_signature = server.record_signature(update.key)
+            update.steps_done.append(StepKind.FETCH_SIGNATURE)
+            return None
+        if StepKind.COMPUTE not in update.steps_done:
+            update.own_signature = self.scheme.sign(update.new_value,
+                                                    strict=False)
+            update.steps_done.append(StepKind.COMPUTE)
+            if update.fetched_signature is None:
+                update.outcome = "missing"
+            elif update.own_signature == update.fetched_signature:
+                update.outcome = "pseudo"   # filtered; nothing to send
+            return update.outcome
+        # SEND_UPDATE: the server re-checks against the *fetched* Sb.
+        outcome = server.conditional_update(
+            update.key, update.new_value, update.fetched_signature,
+            after_signature=update.own_signature,
+        )
+        update.steps_done.append(StepKind.SEND_UPDATE)
+        if outcome is UpdateOutcome.APPLIED:
+            update.outcome = "applied"
+            self.history.setdefault(update.key, []).append(
+                (update.fetched_signature, update.own_signature,
+                 client_name)
+            )
+        elif outcome is UpdateOutcome.CONFLICT:
+            update.outcome = "conflict"
+        else:
+            update.outcome = "missing"
+        return update.outcome
+
+    def run_schedule(self, schedule: list[str], drain: bool = True) -> dict[str, str]:
+        """Step clients in the given order until each update finishes.
+
+        ``schedule`` lists client names; each occurrence advances that
+        client's in-flight update one step.  With ``drain`` (default),
+        updates the schedule left unfinished are completed afterwards in
+        registration order; pass ``drain=False`` to keep them in flight
+        for further manual stepping.  Returns name -> outcome (None for
+        still-in-flight updates when not draining).
+        """
+        for client_name in schedule:
+            update = self._updates.get(client_name)
+            if update is None or update.finished:
+                continue
+            self.step(client_name)
+        if drain:
+            for client_name, update in self._updates.items():
+                while not update.finished:
+                    self.step(client_name)
+        return {name: update.outcome
+                for name, update in self._updates.items()}
+
+    def check_serializable(self) -> None:
+        """Assert the applied updates chain per record (no lost updates).
+
+        Each applied update must have seen exactly the signature its
+        predecessor left behind; the final record must match the last
+        applied signature.
+        """
+        for key, chain in self.history.items():
+            for (before, _after, name), (_pb, previous_after, _pn) in zip(
+                chain[1:], chain[:-1]
+            ):
+                if before != previous_after:
+                    raise AssertionError(
+                        f"lost update on key {key}: {name} applied over a "
+                        "version nobody left behind"
+                    )
+            server = self._server_for(key)
+            current = server.record_signature(key)
+            if chain and current != chain[-1][1]:
+                raise AssertionError(
+                    f"record {key} does not match its last applied update"
+                )
+
+    def _server_for(self, key: int):
+        client = self.file.client("__driver__")
+        server, _forwards = client._locate(key, "probe", 0)
+        return server

@@ -1,0 +1,67 @@
+"""Traffic and operation counters shared by the simulated SDDS substrates.
+
+The update experiments (E6) and the backup experiments (E5) are largely
+*accounting* results -- bytes not shipped, pages not written.  Keeping
+the counters in one place makes every protocol's savings directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Message/byte counters for one network or one endpoint."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str, payload_bytes: int) -> None:
+        """Account one message of the given kind and payload size."""
+        self.messages += 1
+        self.bytes += payload_bytes
+        self.by_kind[kind] += 1
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.messages = 0
+        self.bytes = 0
+        self.by_kind.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+@dataclass
+class DiskStats:
+    """Page/byte counters for a simulated disk."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }

@@ -1,0 +1,15 @@
+"""Remote replica reconciliation by signature exchange (Section 1's roots)."""
+
+from .replica import (
+    Replica,
+    SyncReport,
+    sync_by_map,
+    sync_by_tree,
+)
+
+__all__ = [
+    "Replica",
+    "SyncReport",
+    "sync_by_map",
+    "sync_by_tree",
+]

@@ -1,0 +1,37 @@
+"""Record-update concurrency: the Section 2.2 scheme and its baselines.
+
+The full client/server update protocol (pseudo-update filtering, blind
+updates, IAM-corrected addressing) lives in :mod:`repro.sdds`; this
+package isolates the *concurrency-control* core so schedules can be
+driven deterministically:
+
+* :class:`SignatureManager` -- the paper's lock-free optimistic scheme.
+* :class:`TrustworthyManager` -- apply-unconditionally (loses updates).
+* :class:`TimestampManager` -- version numbers (correct, pays storage).
+* :mod:`interleave` -- adversarial schedule harness.
+"""
+
+from .protocol import (
+    CommitOutcome,
+    ReadHandle,
+    SignatureManager,
+    TimestampManager,
+    TrustworthyManager,
+)
+from .interleave import ClientScript, ScheduleResult, lost_update_race, run_schedule
+from .readset import ReadSetTransaction, TransactionAborted, TransactionOutcome
+
+__all__ = [
+    "CommitOutcome",
+    "ReadHandle",
+    "SignatureManager",
+    "TimestampManager",
+    "TrustworthyManager",
+    "ClientScript",
+    "ScheduleResult",
+    "run_schedule",
+    "lost_update_race",
+    "ReadSetTransaction",
+    "TransactionOutcome",
+    "TransactionAborted",
+]

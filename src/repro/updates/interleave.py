@@ -1,0 +1,103 @@
+"""Interleaving harness: drive concurrent read-modify-write schedules.
+
+Lets tests and experiments run the same adversarial schedules against
+every concurrency manager and compare outcomes.  The canonical schedule
+is the lost-update race of Section 2.2: two clients read the same
+record, both modify, both commit -- the second commit must be rolled
+back (signatures, timestamps) or it silently destroys the first update
+(the trustworthy policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .protocol import CommitOutcome, ReadHandle
+
+Mutator = Callable[[bytes], bytes]
+
+
+@dataclass(slots=True)
+class ClientScript:
+    """One client's intended read-modify-write against one key."""
+
+    name: str
+    key: int
+    mutate: Mutator
+    handle: ReadHandle | None = None
+    outcome: CommitOutcome | None = None
+
+
+@dataclass(slots=True)
+class ScheduleResult:
+    """What happened when a schedule ran against a manager."""
+
+    outcomes: dict[str, CommitOutcome] = field(default_factory=dict)
+    final_values: dict[int, bytes] = field(default_factory=dict)
+    lost_updates: int = 0
+
+
+def run_schedule(manager, scripts: list[ClientScript],
+                 schedule: list[tuple[str, str]]) -> ScheduleResult:
+    """Execute an explicit interleaving of client steps.
+
+    ``schedule`` is a list of ``(client_name, step)`` pairs with step in
+    ``{"read", "commit"}``.  Lost updates are counted as commits that
+    reported APPLIED but whose effect is absent from the final value
+    (overwritten by a later commit that had not seen them).
+    """
+    by_name = {script.name: script for script in scripts}
+    applied_values: dict[str, bytes] = {}
+    for name, step in schedule:
+        script = by_name[name]
+        if step == "read":
+            script.handle = manager.read(script.key)
+        elif step == "commit":
+            if script.handle is None:
+                raise ValueError(f"client {name} commits before reading")
+            new_value = script.mutate(script.handle.value)
+            script.outcome = manager.commit(script.handle, new_value)
+            if script.outcome is CommitOutcome.APPLIED:
+                applied_values[name] = new_value
+        else:
+            raise ValueError(f"unknown schedule step {step!r}")
+    result = ScheduleResult()
+    keys = {script.key for script in scripts}
+    for key in keys:
+        result.final_values[key] = manager.value(key)
+    for script in scripts:
+        if script.outcome is not None:
+            result.outcomes[script.name] = script.outcome
+    # An applied commit is lost if the final value of its key is not the
+    # value it wrote and no later applied commit *read* that value.
+    for name, written in applied_values.items():
+        key = by_name[name].key
+        if result.final_values[key] != written and not _was_seen(
+            written, name, by_name, applied_values
+        ):
+            result.lost_updates += 1
+    return result
+
+
+def _was_seen(written: bytes, writer: str, by_name: dict[str, ClientScript],
+              applied_values: dict[str, bytes]) -> bool:
+    """Did any other applied commit read the value ``writer`` wrote?"""
+    for name, script in by_name.items():
+        if name == writer or name not in applied_values:
+            continue
+        if script.handle is not None and script.handle.value == written:
+            return True
+    return False
+
+
+def lost_update_race(manager, key: int = 1,
+                     initial: bytes = b"balance=100") -> ScheduleResult:
+    """The canonical two-client race: read A, read B, commit A, commit B."""
+    manager.insert(key, initial)
+    scripts = [
+        ClientScript("A", key, lambda value: value + b"+A"),
+        ClientScript("B", key, lambda value: value + b"+B"),
+    ]
+    schedule = [("A", "read"), ("B", "read"), ("A", "commit"), ("B", "commit")]
+    return run_schedule(manager, scripts, schedule)

@@ -1,0 +1,122 @@
+"""Two-step transactions: read-set validation by signatures (Section 1).
+
+"If transactions follow the two-step model, we can prevent dirty reads
+by calculating the signatures of the read set between reading and just
+before committing the writes."
+
+:class:`ReadSetTransaction` implements exactly that optimistic
+discipline over any record store exposing ``value(key)``:
+
+1. *read phase* -- the transaction reads records and remembers only
+   their 4-byte signatures (not the values -- zero per-record metadata
+   on the server, tiny footprint on the client);
+2. *validate-and-write phase* -- just before committing its writes, the
+   transaction recomputes the read-set signatures; any mismatch proves
+   a concurrent update touched the read set and the transaction aborts
+   instead of committing results derived from stale (dirty) reads.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import ReproError
+from ..sig.scheme import AlgebraicSignatureScheme
+from ..sig.signature import Signature
+
+
+class TransactionOutcome(Enum):
+    """Result of attempting to commit a two-step transaction."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"    #: read-set validation failed
+
+
+class TransactionAborted(ReproError):
+    """Raised by :meth:`ReadSetTransaction.commit` on validation failure."""
+
+
+class ReadSetTransaction:
+    """An optimistic read-validate-write transaction over a record store.
+
+    The store must expose ``value(key) -> bytes`` for reads and a
+    ``write(key, value)`` for the commit phase (the
+    :class:`repro.updates.protocol.SignatureManager` store shape, or any
+    dict-like adapter).
+    """
+
+    def __init__(self, scheme: AlgebraicSignatureScheme, store):
+        self.scheme = scheme
+        self.store = store
+        self._read_signatures: dict[int, Signature] = {}
+        self._writes: dict[int, bytes] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Read phase
+    # ------------------------------------------------------------------
+
+    def read(self, key: int) -> bytes:
+        """Read a record, remembering its signature for validation.
+
+        Repeated reads of the same key keep the *first* signature: if
+        the record changes between two reads of the same transaction,
+        validation must fail (that is precisely a dirty-read pattern).
+        """
+        self._check_open()
+        value = self.store.value(key)
+        if key not in self._read_signatures:
+            self._read_signatures[key] = self.scheme.sign(value, strict=False)
+        return value
+
+    def write(self, key: int, value: bytes) -> None:
+        """Buffer a write; nothing reaches the store until commit."""
+        self._check_open()
+        self._writes[key] = bytes(value)
+
+    # ------------------------------------------------------------------
+    # Validation + commit
+    # ------------------------------------------------------------------
+
+    def validate(self) -> bool:
+        """Recompute the read-set signatures; True iff all unchanged."""
+        for key, signature in self._read_signatures.items():
+            current = self.scheme.sign(self.store.value(key), strict=False)
+            if current != signature:
+                return False
+        return True
+
+    def commit(self) -> TransactionOutcome:
+        """Validate the read set, then apply the buffered writes.
+
+        Returns COMMITTED, or ABORTED (leaving the store untouched) when
+        an intervening update invalidated any read.
+        """
+        self._check_open()
+        self._finished = True
+        if not self.validate():
+            return TransactionOutcome.ABORTED
+        for key, value in self._writes.items():
+            self._store_write(key, value)
+        return TransactionOutcome.COMMITTED
+
+    def abort(self) -> None:
+        """Drop the transaction without touching the store."""
+        self._finished = True
+
+    @property
+    def read_set_bytes(self) -> int:
+        """Client memory held for validation: 4 B per record read."""
+        return len(self._read_signatures) * self.scheme.scheme_id.signature_bytes
+
+    def _store_write(self, key: int, value: bytes) -> None:
+        if hasattr(self.store, "write"):
+            self.store.write(key, value)
+        elif hasattr(self.store, "insert"):
+            self.store.insert(key, value)  # SignatureManager-style upsert
+        else:
+            raise ReproError("store exposes neither write() nor insert()")
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise ReproError("transaction already committed or aborted")

@@ -1,0 +1,35 @@
+"""Workload generators: pages, update patterns, record sets, and
+access skews for the SDDS experiments (Section 5.2 data spectrum)."""
+
+from .pages import (
+    PAGE_KINDS,
+    SPELLED_NUMBER,
+    ascii_page,
+    make_page,
+    random_page,
+    structured_page,
+    zero_page,
+)
+from .updates import attribute_update, cut_and_paste, pseudo_update_mix, small_edit
+from .records import load_file, make_records
+from .access import Operation, hot_set_fraction, mixed_workload, zipf_indices
+
+__all__ = [
+    "PAGE_KINDS",
+    "SPELLED_NUMBER",
+    "make_page",
+    "random_page",
+    "ascii_page",
+    "structured_page",
+    "zero_page",
+    "small_edit",
+    "cut_and_paste",
+    "attribute_update",
+    "pseudo_update_mix",
+    "make_records",
+    "load_file",
+    "zipf_indices",
+    "mixed_workload",
+    "Operation",
+    "hot_set_fraction",
+]

@@ -1,0 +1,76 @@
+"""Access-pattern generators: which records a workload touches, and when.
+
+The E6 update experiments use uniform access; real database workloads
+skew (a few hot records take most updates) and mix operations.  These
+generators feed such patterns into the SDDS protocols so experiments
+can study, e.g., how conflict rates grow with skew, or how the client
+cache behaves under a hot set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def zipf_indices(n_items: int, count: int, skew: float,
+                 rng: np.random.Generator) -> np.ndarray:
+    """``count`` item indices drawn Zipf-like with exponent ``skew``.
+
+    ``skew = 0`` is uniform; larger values concentrate accesses on the
+    low indices (rank 1 is the hottest).  Implemented by inverse-CDF
+    over the finite rank distribution, so any skew >= 0 works (numpy's
+    ``zipf`` needs skew > 1).
+    """
+    if n_items <= 0:
+        raise ReproError("need at least one item")
+    if skew < 0:
+        raise ReproError("skew cannot be negative")
+    weights = 1.0 / np.power(np.arange(1, n_items + 1, dtype=np.float64), skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    draws = rng.random(count)
+    return np.searchsorted(cdf, draws)
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One workload step."""
+
+    kind: str      #: "read" | "update" | "pseudo_update"
+    index: int     #: which record (rank in the key list)
+
+
+def mixed_workload(n_items: int, count: int, rng: np.random.Generator,
+                   read_fraction: float = 0.7, pseudo_fraction: float = 0.3,
+                   skew: float = 0.99) -> list[Operation]:
+    """A read/update mix over a Zipf-skewed hot set.
+
+    ``pseudo_fraction`` is the share of *updates* that change nothing --
+    the paper's pseudo-update population (idle salespersons, unchanged
+    camera images).
+    """
+    if not 0.0 <= read_fraction <= 1.0 or not 0.0 <= pseudo_fraction <= 1.0:
+        raise ReproError("fractions must be in [0, 1]")
+    indices = zipf_indices(n_items, count, skew, rng)
+    operations = []
+    for index in indices:
+        if rng.random() < read_fraction:
+            kind = "read"
+        elif rng.random() < pseudo_fraction:
+            kind = "pseudo_update"
+        else:
+            kind = "update"
+        operations.append(Operation(kind, int(index)))
+    return operations
+
+
+def hot_set_fraction(operations: list[Operation], hot_items: int) -> float:
+    """Share of operations touching the ``hot_items`` lowest ranks."""
+    if not operations:
+        return 0.0
+    hot = sum(1 for op in operations if op.index < hot_items)
+    return hot / len(operations)

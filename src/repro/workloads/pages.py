@@ -1,0 +1,59 @@
+"""Page/data generators for the signature experiments.
+
+Section 5.2 found the calculation time "depended to a large degree on
+the type of data used": worst for fully random bytes (log-table gathers
+touch the whole table), best for "highly structured data such as a
+spelled out number repeated several times" (a handful of distinct
+symbols stay cache-hot).  These generators reproduce that spectrum, all
+deterministically seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: The paper's structured-data example: a spelled-out number.
+SPELLED_NUMBER = (
+    b"one hundred twenty-three thousand four hundred fifty-six "
+)
+
+
+def random_page(nbytes: int, seed: int = 0) -> bytes:
+    """Completely random characters in the full ASCII range (worst case)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, nbytes, dtype=np.uint8).tobytes()
+
+
+def ascii_page(nbytes: int, seed: int = 0) -> bytes:
+    """Random printable ASCII (typical text-record payloads)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0x20, 0x7F, nbytes, dtype=np.uint8).tobytes()
+
+
+def structured_page(nbytes: int) -> bytes:
+    """The paper's best case: a spelled-out number repeated to length."""
+    repeats = nbytes // len(SPELLED_NUMBER) + 1
+    return (SPELLED_NUMBER * repeats)[:nbytes]
+
+
+def zero_page(nbytes: int) -> bytes:
+    """All-zero data (the degenerate fastest input: every term vanishes)."""
+    return bytes(nbytes)
+
+
+#: Named generators for parameter sweeps.
+PAGE_KINDS = {
+    "random": random_page,
+    "ascii": ascii_page,
+    "structured": lambda nbytes, seed=0: structured_page(nbytes),
+    "zero": lambda nbytes, seed=0: zero_page(nbytes),
+}
+
+
+def make_page(kind: str, nbytes: int, seed: int = 0) -> bytes:
+    """Generate a page of the named kind."""
+    if kind not in PAGE_KINDS:
+        raise ReproError(f"unknown page kind {kind!r}; choose from {sorted(PAGE_KINDS)}")
+    return PAGE_KINDS[kind](nbytes, seed=seed)

@@ -1,0 +1,75 @@
+"""Update-pattern generators: the changes the paper's analysis targets.
+
+Three families drive the experiments:
+
+* *small edits* -- "an update of a database record often changes only
+  relatively few bytes" (Proposition 1 territory);
+* *cut-and-paste switches* -- "in a text document the cut-and-paste
+  (switch) of a large string is a frequent operation" (Proposition 4);
+* *pseudo-update mixes* -- update requests that change nothing (the
+  thousands of salespersons with no sales), driving the E6 savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def small_edit(page: bytes, n_bytes: int, rng: np.random.Generator) -> bytes:
+    """Change exactly ``n_bytes`` positions to different byte values."""
+    if not 0 < n_bytes <= len(page):
+        raise ReproError("edit size must be within the page")
+    data = bytearray(page)
+    positions = rng.choice(len(data), size=n_bytes, replace=False)
+    for position in positions:
+        old = data[position]
+        new = int(rng.integers(0, 256))
+        while new == old:
+            new = int(rng.integers(0, 256))
+        data[position] = new
+    return bytes(data)
+
+
+def cut_and_paste(page: bytes, rng: np.random.Generator,
+                  block_bytes: int | None = None) -> bytes:
+    """Move a block from one position to another (the Figure 2 switch)."""
+    if len(page) < 4:
+        raise ReproError("page too small for a switch")
+    if block_bytes is None:
+        block_bytes = int(rng.integers(1, max(2, len(page) // 4)))
+    if not 0 < block_bytes < len(page):
+        raise ReproError("block must be shorter than the page")
+    source = int(rng.integers(0, len(page) - block_bytes + 1))
+    rest = page[:source] + page[source + block_bytes:]
+    destination = int(rng.integers(0, len(rest) + 1))
+    block = page[source:source + block_bytes]
+    return rest[:destination] + block + rest[destination:]
+
+
+def attribute_update(page: bytes, offset: int, new_field: bytes) -> bytes:
+    """Replace the attribute at ``offset`` (the normal-update shape)."""
+    if offset < 0 or offset + len(new_field) > len(page):
+        raise ReproError("attribute outside the record")
+    return page[:offset] + new_field + page[offset + len(new_field):]
+
+
+def pseudo_update_mix(values: list[bytes], pseudo_ratio: float,
+                      rng: np.random.Generator,
+                      edit_bytes: int = 8) -> list[tuple[bytes, bytes]]:
+    """Build (before, after) update requests with a pseudo-update fraction.
+
+    A ``pseudo_ratio`` of 0.5 means half the requested updates leave the
+    record unchanged -- the workload where the Section 2.2 filtering
+    shines.
+    """
+    if not 0.0 <= pseudo_ratio <= 1.0:
+        raise ReproError("pseudo ratio must be in [0, 1]")
+    requests = []
+    for value in values:
+        if rng.random() < pseudo_ratio:
+            requests.append((value, value))
+        else:
+            requests.append((value, small_edit(value, edit_bytes, rng)))
+    return requests

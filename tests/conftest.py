@@ -1,0 +1,71 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gf import GF
+from repro.sig import PRIMITIVE, STANDARD, make_scheme
+
+
+@pytest.fixture(scope="session")
+def gf4():
+    """Tiny field for exhaustive experiments."""
+    return GF(4)
+
+
+@pytest.fixture(scope="session")
+def gf8():
+    """The paper's byte-symbol field."""
+    return GF(8)
+
+
+@pytest.fixture(scope="session")
+def gf16():
+    """The paper's production double-byte-symbol field."""
+    return GF(16)
+
+
+@pytest.fixture(scope="session")
+def scheme8():
+    """sig_{alpha,3} over GF(2^8): small symbols, n > 2."""
+    return make_scheme(f=8, n=3)
+
+
+@pytest.fixture(scope="session")
+def scheme16():
+    """The paper's production scheme: sig_{alpha,2} over GF(2^16)."""
+    return make_scheme(f=16, n=2)
+
+
+@pytest.fixture(scope="session")
+def scheme8_primitive():
+    """sig'_{alpha,3} over GF(2^8) (the all-primitive-powers variant)."""
+    return make_scheme(f=8, n=3, variant=PRIMITIVE)
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic numpy generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow", action="store_true", default=False,
+        help="run slow statistical tests",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: slow statistical test")

@@ -1,0 +1,112 @@
+"""Tests for scheme recommendation, collision arithmetic, adversarial switches."""
+
+import pytest
+
+from repro.analysis import (
+    expected_collision_interval_years,
+    prop4_adversarial_switches,
+    recommend_scheme,
+)
+from repro.errors import ReproError
+from repro.sig import PRIMITIVE, STANDARD, make_scheme
+
+
+class TestRecommendScheme:
+    def test_reproduces_the_papers_choice(self):
+        """16 KB pages + 2^-32 budget + certainty for 2 symbols ==
+        exactly the paper's production configuration."""
+        rec = recommend_scheme(16 * 1024)
+        assert rec.f == 16
+        assert rec.n == 2
+        assert rec.signature_bytes == 4
+        assert rec.collision_probability == 2.0 ** -32
+
+    def test_small_pages_can_use_gf8(self):
+        rec = recommend_scheme(100, max_collision_probability=2.0 ** -24,
+                               min_guaranteed_symbols=3)
+        assert rec.f == 8
+        assert rec.n == 3
+        assert rec.signature_bytes == 3
+
+    def test_page_beyond_gf8_bound_promotes_to_gf16(self):
+        rec = recommend_scheme(1024, max_collision_probability=2.0 ** -8)
+        assert rec.f == 16  # 1024 symbols exceed GF(2^8)'s 254-symbol bound
+
+    def test_tight_budget_raises_n(self):
+        rec = recommend_scheme(1024, max_collision_probability=2.0 ** -40)
+        assert rec.n * rec.f >= 40
+
+    def test_build_returns_working_scheme(self):
+        scheme = recommend_scheme(4096).build()
+        assert scheme.sign(b"abc") == scheme.sign(b"abc")
+
+    def test_oversized_page_rejected(self):
+        with pytest.raises(ReproError):
+            recommend_scheme(1 << 20)  # > 128 KB: no byte field covers it
+
+    def test_bad_arguments(self):
+        with pytest.raises(ReproError):
+            recommend_scheme(0)
+        with pytest.raises(ReproError):
+            recommend_scheme(100, max_collision_probability=1.5)
+        with pytest.raises(ReproError):
+            recommend_scheme(100, min_guaranteed_symbols=0)
+
+
+class TestCollisionInterval:
+    def test_paper_arithmetic(self):
+        """4 B signatures at one backup a second: ~135 years."""
+        scheme = make_scheme(f=16, n=2)
+        years = expected_collision_interval_years(scheme, 1.0)
+        assert 130 < years < 140
+
+    def test_scales_with_rate(self):
+        scheme = make_scheme(f=16, n=2)
+        slow = expected_collision_interval_years(scheme, 1.0)
+        fast = expected_collision_interval_years(scheme, 100.0)
+        assert slow == pytest.approx(100 * fast)
+
+    def test_bad_rate(self):
+        with pytest.raises(ReproError):
+            expected_collision_interval_years(make_scheme(), 0)
+
+
+class TestAdversarialSwitches:
+    def test_sig_degrades_where_sig_prime_does_not(self):
+        """The separation the paper's Section 4.1 discussion predicts:
+        in GF(2^4) with n=3, alpha^3 has order 5; a switch whose block
+        length and distance are both 5 blinds that component of sig,
+        degrading its collision rate to ~2^-8, while sig' (all
+        coordinates primitive) stays at ~2^-12."""
+        standard = prop4_adversarial_switches(
+            make_scheme(f=4, n=3, variant=STANDARD),
+            page_symbols=14, block_symbols=5, move_distance=5,
+            trials=60_000, seed=9,
+        )
+        primitive = prop4_adversarial_switches(
+            make_scheme(f=4, n=3, variant=PRIMITIVE),
+            page_symbols=14, block_symbols=5, move_distance=5,
+            trials=60_000, seed=9,
+        )
+        assert standard.predicted_rate == 2.0 ** -8
+        assert primitive.predicted_rate == 2.0 ** -12
+        assert standard.observed_rate > 4 * primitive.observed_rate
+        assert abs(standard.observed_rate - 2 ** -8) < 2 ** -9
+
+    def test_benign_parameters_no_degradation(self):
+        """A distance that is not a multiple of ord(alpha^3) leaves sig
+        at full strength."""
+        report = prop4_adversarial_switches(
+            make_scheme(f=4, n=3, variant=STANDARD),
+            page_symbols=14, block_symbols=4, move_distance=3,
+            trials=30_000, seed=10,
+        )
+        assert report.predicted_rate == 2.0 ** -12
+        assert report.observed_rate < 2 ** -9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            prop4_adversarial_switches(
+                make_scheme(f=4, n=2), page_symbols=6, block_symbols=4,
+                move_distance=4, trials=10,
+            )

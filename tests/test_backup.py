@@ -1,0 +1,234 @@
+"""Tests for the signature-map backup engine and the dirty-bit baseline."""
+
+import numpy as np
+import pytest
+
+from repro.backup import (
+    BackupEngine,
+    CpuModel,
+    DirtyBitBackupEngine,
+    DirtyBitTracker,
+)
+from repro.errors import BackupError
+from repro.sdds import Bucket, Record
+from repro.sig import make_scheme
+from repro.sim import DiskModel, SimClock, SimDisk
+from repro.workloads import make_page
+
+
+@pytest.fixture()
+def engine16():
+    scheme = make_scheme(f=16, n=2)
+    disk = SimDisk(SimClock())
+    return BackupEngine(scheme, disk, page_bytes=1024)
+
+
+def random_image(nbytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return bytearray(rng.integers(0, 256, nbytes, dtype=np.uint8).tobytes())
+
+
+class TestFirstBackup:
+    def test_writes_everything(self, engine16):
+        image = random_image(16 * 1024)
+        report = engine16.backup("vol", bytes(image))
+        assert report.pages_total == 16
+        assert report.pages_written == 16
+        assert report.bytes_written == 16 * 1024
+
+    def test_restore_equals_source(self, engine16):
+        image = bytes(random_image(10_000))
+        engine16.backup("vol", image)
+        restored = engine16.restore("vol")
+        assert restored[:len(image)] == image
+
+    def test_restore_unknown_volume(self, engine16):
+        with pytest.raises(BackupError):
+            engine16.restore("nope")
+
+
+class TestIncrementalBackup:
+    def test_unchanged_image_writes_nothing(self, engine16):
+        image = bytes(random_image(8192))
+        engine16.backup("vol", image)
+        report = engine16.backup("vol", image)
+        assert report.pages_written == 0
+        assert report.bytes_written == 0
+
+    def test_single_byte_change_writes_one_page(self, engine16):
+        image = random_image(8192)
+        engine16.backup("vol", bytes(image))
+        image[5000] ^= 0xFF
+        report = engine16.backup("vol", bytes(image))
+        assert report.pages_written == 1
+        assert engine16.restore("vol")[:8192] == bytes(image)
+
+    def test_scattered_changes(self, engine16):
+        image = random_image(16 * 1024, seed=7)
+        engine16.backup("vol", bytes(image))
+        for position in (10, 3000, 9000, 15000):
+            image[position] ^= 1
+        report = engine16.backup("vol", bytes(image))
+        assert report.pages_written == 4
+        assert engine16.restore("vol")[:len(image)] == bytes(image)
+
+    def test_growth_appends_pages(self, engine16):
+        image = random_image(4096)
+        engine16.backup("vol", bytes(image))
+        grown = bytes(image) + bytes(random_image(2048, seed=9))
+        report = engine16.backup("vol", grown)
+        assert report.pages_written == 2
+        assert engine16.restore("vol")[:len(grown)] == grown
+
+    def test_write_identical_bytes_skipped(self, engine16):
+        """The key advantage over dirty bits: rewriting a page with the
+        same content is recognized as clean."""
+        image = random_image(4096)
+        engine16.backup("vol", bytes(image))
+        # Simulate a same-value write: image is byte-identical.
+        report = engine16.backup("vol", bytes(image))
+        assert report.pages_written == 0
+
+
+class TestCostModel:
+    def test_signature_time_charged(self):
+        scheme = make_scheme(f=16, n=2)
+        clock = SimClock()
+        disk = SimDisk(clock)
+        engine = BackupEngine(scheme, disk, page_bytes=1024,
+                              cpu=CpuModel(sig_seconds_per_byte=1e-9))
+        engine.backup("vol", bytes(random_image(1 << 20)))
+        second_start = clock.now
+        engine.backup("vol", bytes(random_image(1 << 20)))
+        # Unchanged image: only signature time, no writes.
+        assert clock.now - second_start == pytest.approx((1 << 20) * 1e-9)
+
+    def test_skipping_beats_full_copy(self):
+        """With the paper's constants (25 ms/MB signatures vs 300 ms/MB
+        writes) an unchanged backup pass is ~12x cheaper."""
+        scheme = make_scheme(f=16, n=2)
+        clock = SimClock()
+        disk = SimDisk(clock, model=DiskModel(seek_time=0.0))
+        engine = BackupEngine(scheme, disk, page_bytes=16 * 1024)
+        image = bytes(random_image(1 << 20))
+        first = engine.backup("vol", image)
+        second = engine.backup("vol", image)
+        assert second.total_seconds < first.total_seconds / 5
+
+    def test_page_size_validation(self):
+        scheme = make_scheme(f=16, n=2)
+        with pytest.raises(BackupError):
+            BackupEngine(scheme, SimDisk(), page_bytes=1023)  # odd for f=16
+        with pytest.raises(BackupError):
+            BackupEngine(scheme, SimDisk(), page_bytes=256 * 1024)  # > bound
+
+    def test_paper_page_size_fits(self):
+        """16 KB pages with GF(2^16): the paper's production choice."""
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=16 * 1024)
+        assert engine.page_symbols == 8192
+
+
+class TestTreeBackup:
+    def test_tree_mode_same_results(self):
+        scheme = make_scheme(f=16, n=2)
+        flat = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        tree = BackupEngine(scheme, SimDisk(), page_bytes=512, use_tree=True)
+        image = random_image(64 * 512)
+        flat.backup("vol", bytes(image))
+        tree.backup("vol", bytes(image))
+        image[100] ^= 1
+        image[20_000] ^= 1
+        flat_report = flat.backup("vol", bytes(image))
+        tree_report = tree.backup("vol", bytes(image))
+        assert flat_report.pages_written == tree_report.pages_written == 2
+        assert tree.restore("vol")[:len(image)] == bytes(image)
+
+    def test_tree_compares_fewer_nodes(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=512,
+                              use_tree=True, tree_fanout=4)
+        image = random_image(256 * 512)
+        engine.backup("vol", bytes(image))
+        image[1000] ^= 1
+        report = engine.backup("vol", bytes(image))
+        assert report.pages_written == 1
+        assert 0 < report.tree_comparisons < 256
+
+
+class TestBucketBackup:
+    def test_heap_and_index_both_backed_up(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=1024)
+        bucket = Bucket(0)
+        for key in range(50):
+            bucket.insert(Record(key, make_page("ascii", 80, seed=key)))
+        heap_report, index_report = engine.backup_bucket("b0", bucket)
+        assert heap_report.pages_written > 0
+        assert index_report.pages_written > 0
+        # Index pages use the paper's small granularity.
+        heap_report2, index_report2 = engine.backup_bucket("b0", bucket)
+        assert heap_report2.pages_written == 0
+        assert index_report2.pages_written == 0
+
+    def test_record_update_dirties_one_heap_page(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=1024)
+        bucket = Bucket(0)
+        for key in range(50):
+            bucket.insert(Record(key, b"v" * 80))
+        engine.backup_bucket("b0", bucket)
+        bucket.update(25, b"w" * 80)
+        heap_report, _index = engine.backup_bucket("b0", bucket)
+        assert heap_report.pages_written == 1
+
+
+class TestDirtyBitBaseline:
+    def test_tracks_writes(self):
+        bucket = Bucket(0)
+        tracker = DirtyBitTracker(bucket.heap, page_bytes=256)
+        disk = SimDisk()
+        engine = DirtyBitBackupEngine(tracker, disk)
+        bucket.insert(Record(1, b"x" * 100))
+        first = engine.backup("vol", bucket.heap.image)
+        assert first.pages_written > 0
+        second = engine.backup("vol", bucket.heap.image)
+        assert second.pages_written == 0
+        bucket.update(1, b"y" * 100)
+        third = engine.backup("vol", bucket.heap.image)
+        assert third.pages_written >= 1
+
+    def test_same_value_write_still_copied(self):
+        """The dirty-bit weakness: a write of identical bytes marks the
+        page dirty and forces a copy the signature engine would skip."""
+        bucket = Bucket(0)
+        tracker = DirtyBitTracker(bucket.heap, page_bytes=256)
+        engine = DirtyBitBackupEngine(tracker, SimDisk())
+        bucket.insert(Record(1, b"x" * 100))
+        engine.backup("vol", bucket.heap.image)
+        bucket.update(1, b"x" * 100)  # identical bytes
+        report = engine.backup("vol", bucket.heap.image)
+        assert report.pages_written >= 1
+
+    def test_agreement_with_signature_engine(self):
+        """Every page the signature engine writes is also dirty-bit
+        dirty (signatures never miss a byte change the tracker saw)."""
+        scheme = make_scheme(f=16, n=2)
+        bucket = Bucket(0)
+        tracker = DirtyBitTracker(bucket.heap, page_bytes=512)
+        sig_engine = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        for key in range(30):
+            bucket.insert(Record(key, b"v" * 64))
+        sig_engine.backup("vol", bucket.heap.image)
+        tracker.reset()
+        bucket.update(7, b"w" * 64)
+        bucket.update(23, b"u" * 64)
+        dirty = set(tracker.dirty_pages())
+        report = sig_engine.backup("vol", bucket.heap.image)
+        sig_pages = report.pages_written
+        assert sig_pages <= len(dirty) + 1  # sig never writes more real pages
+
+    def test_page_size_validation(self):
+        bucket = Bucket(0)
+        with pytest.raises(BackupError):
+            DirtyBitTracker(bucket.heap, page_bytes=0)

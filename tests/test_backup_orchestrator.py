@@ -1,0 +1,120 @@
+"""Tests for whole-file backup and disaster recovery."""
+
+import random
+
+import pytest
+
+from repro.backup import BackupEngine
+from repro.backup.orchestrator import FileBackupOrchestrator
+from repro.errors import BackupError
+from repro.sdds import LHFile, Record
+from repro.sig import make_scheme
+from repro.sim import SimClock, SimDisk
+from repro.workloads import make_records
+
+
+def build_file(n_records=200, capacity=25, seed=6):
+    scheme = make_scheme(f=16, n=2)
+    file = LHFile(scheme, capacity_records=capacity)
+    client = file.client()
+    records = make_records(n_records, 80, seed=seed)
+    for record in records:
+        client.insert(record)
+    return file, client, records
+
+
+def make_orchestrator(scheme):
+    engine = BackupEngine(scheme, SimDisk(SimClock()), page_bytes=1024)
+    return FileBackupOrchestrator(engine)
+
+
+class TestBackupRestoreCycle:
+    def test_restored_file_equals_original(self):
+        file, _client, records = build_file()
+        orchestrator = make_orchestrator(file.scheme)
+        orchestrator.backup_file(file, "prod")
+        restored = orchestrator.restore_file("prod", capacity_records=25)
+        assert restored.bucket_count == file.bucket_count
+        assert restored.record_count == file.record_count
+        assert (restored.state.level, restored.state.pointer) == \
+            (file.state.level, file.state.pointer)
+        client = restored.client()
+        for record in records:
+            result = client.search(record.key)
+            assert result.status == "found"
+            assert result.record == record
+
+    def test_placement_identical(self):
+        file, _client, _records = build_file()
+        orchestrator = make_orchestrator(file.scheme)
+        orchestrator.backup_file(file, "prod")
+        restored = orchestrator.restore_file("prod", capacity_records=25)
+        for original, copy in zip(file.servers, restored.servers):
+            assert sorted(original.bucket.keys()) == sorted(copy.bucket.keys())
+            assert original.bucket.level == copy.bucket.level
+
+    def test_restored_file_keeps_working(self):
+        """The restored file is live: inserts route, split, and update."""
+        file, _client, records = build_file(n_records=80)
+        orchestrator = make_orchestrator(file.scheme)
+        orchestrator.backup_file(file, "prod")
+        restored = orchestrator.restore_file("prod", capacity_records=25)
+        client = restored.client()
+        new_keys = [record.key + 1 for record in records[:40]
+                    if record.key + 1 not in
+                    {r.key for r in records}]
+        for key in new_keys:
+            client.insert(Record(key, b"fresh" * 16))
+        restored.check_placement()
+        for key in new_keys:
+            assert client.search(key).status == "found"
+
+
+class TestIncrementalFileBackup:
+    def test_quiet_file_writes_nothing(self):
+        file, _client, _records = build_file()
+        orchestrator = make_orchestrator(file.scheme)
+        first = orchestrator.backup_file(file, "prod")
+        assert first.pages_written == first.pages_total
+        second = orchestrator.backup_file(file, "prod")
+        assert second.pages_written == 0
+
+    def test_single_update_touches_one_bucket(self):
+        file, client, records = build_file()
+        orchestrator = make_orchestrator(file.scheme)
+        orchestrator.backup_file(file, "prod")
+        client.update_blind(records[0].key, b"Z" * 80)
+        report = orchestrator.backup_file(file, "prod")
+        touched = [r for r in report.bucket_reports if r.pages_written]
+        assert len(touched) == 1
+        assert 1 <= touched[0].pages_written <= 3
+
+    def test_growth_after_backup(self):
+        """Splits after a backup only dirty the moved data."""
+        file, client, _records = build_file(n_records=100, capacity=30)
+        orchestrator = make_orchestrator(file.scheme)
+        orchestrator.backup_file(file, "prod")
+        more = make_records(60, 80, seed=77)
+        existing = {r.key for server in file.servers
+                    for r in server.bucket.records()}
+        for record in more:
+            if record.key not in existing:
+                client.insert(record)
+        report = orchestrator.backup_file(file, "prod")
+        assert report.pages_written > 0
+        restored = orchestrator.restore_file("prod", capacity_records=30)
+        assert restored.record_count == file.record_count
+
+
+class TestMetadata:
+    def test_truncated_metadata_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        orchestrator = make_orchestrator(scheme)
+        with pytest.raises(BackupError):
+            orchestrator._decode_metadata(b"abc")
+
+    def test_unknown_label_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        orchestrator = make_orchestrator(scheme)
+        with pytest.raises(BackupError):
+            orchestrator.restore_file("never-backed-up")

@@ -1,0 +1,86 @@
+"""Tests for signature-map persistence and cold-restart backups."""
+
+import numpy as np
+import pytest
+
+from repro.backup import BackupEngine
+from repro.errors import BackupError
+from repro.sig import make_scheme
+from repro.sim import SimClock, SimDisk
+
+
+def random_image(nbytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return bytearray(rng.integers(0, 256, nbytes, dtype=np.uint8).tobytes())
+
+
+class TestExportImport:
+    def test_roundtrip_preserves_maps(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        engine.backup("a", bytes(random_image(4096, seed=1)))
+        engine.backup("b", bytes(random_image(2048, seed=2)))
+        archive = engine.export_maps()
+        fresh = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        fresh.import_maps(archive)
+        assert fresh.signature_map("a") == engine.signature_map("a")
+        assert fresh.signature_map("b") == engine.signature_map("b")
+
+    def test_cold_restart_skips_unchanged_pages(self):
+        """A brand-new engine process resumes incremental backups: the
+        map, not RAM state, carries the change knowledge."""
+        scheme = make_scheme(f=16, n=2)
+        disk = SimDisk(SimClock())
+        first = BackupEngine(scheme, disk, page_bytes=512)
+        image = random_image(8192, seed=3)
+        first.backup("vol", bytes(image))
+        archive = first.export_maps()
+
+        second = BackupEngine(scheme, disk, page_bytes=512)  # "new process"
+        second.import_maps(archive)
+        report = second.backup("vol", bytes(image))
+        assert report.pages_written == 0
+        image[100] ^= 1
+        report = second.backup("vol", bytes(image))
+        assert report.pages_written == 1
+
+    def test_tree_mode_rebuilds_trees(self):
+        scheme = make_scheme(f=16, n=2)
+        disk = SimDisk()
+        first = BackupEngine(scheme, disk, page_bytes=512, use_tree=True)
+        image = random_image(64 * 512, seed=4)
+        first.backup("vol", bytes(image))
+        second = BackupEngine(scheme, disk, page_bytes=512, use_tree=True)
+        second.import_maps(first.export_maps())
+        image[3000] ^= 1
+        report = second.backup("vol", bytes(image))
+        assert report.pages_written == 1
+        assert report.tree_comparisons > 0  # the tree path was used
+
+    def test_empty_archive(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        fresh = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        fresh.import_maps(engine.export_maps())
+        with pytest.raises(BackupError):
+            fresh.signature_map("anything")
+
+    def test_truncated_archive_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        engine.backup("a", bytes(random_image(1024, seed=5)))
+        archive = engine.export_maps()
+        fresh = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        with pytest.raises(BackupError):
+            fresh.import_maps(archive[:-3])
+
+    def test_import_replaces_state(self):
+        scheme = make_scheme(f=16, n=2)
+        engine = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        engine.backup("old", bytes(random_image(1024, seed=6)))
+        other = BackupEngine(scheme, SimDisk(), page_bytes=512)
+        other.backup("new", bytes(random_image(1024, seed=7)))
+        engine.import_maps(other.export_maps())
+        with pytest.raises(BackupError):
+            engine.signature_map("old")
+        assert engine.signature_map("new") is not None

@@ -1,0 +1,180 @@
+"""Tests for the from-scratch baselines against the standard library."""
+
+import binascii
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    CRC16,
+    KarpRabinFingerprint,
+    MD5,
+    SHA1,
+    crc16,
+    crc32,
+    md5,
+    sha1,
+    xor_fold,
+    xor_fold_search,
+)
+from repro.errors import SignatureError
+
+
+class TestSHA1:
+    def test_empty(self):
+        assert sha1(b"") == hashlib.sha1(b"").digest()
+
+    def test_abc_vector(self):
+        # FIPS 180-1 Appendix A test vector.
+        assert SHA1(b"abc").hexdigest() == \
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_two_block_vector(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert SHA1(message).hexdigest() == \
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    @pytest.mark.parametrize("size", [0, 1, 55, 56, 63, 64, 65, 119, 128, 1000])
+    def test_padding_boundaries(self, size):
+        data = bytes(range(256)) * (size // 256 + 1)
+        data = data[:size]
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=80)
+    def test_matches_hashlib(self, data):
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+    @given(st.lists(st.binary(max_size=80), max_size=6))
+    @settings(max_examples=40)
+    def test_incremental_updates(self, chunks):
+        incremental = SHA1()
+        for chunk in chunks:
+            incremental.update(chunk)
+        assert incremental.digest() == hashlib.sha1(b"".join(chunks)).digest()
+
+    def test_digest_does_not_consume(self):
+        h = SHA1(b"abc")
+        assert h.digest() == h.digest()
+        h.update(b"def")
+        assert h.digest() == hashlib.sha1(b"abcdef").digest()
+
+    def test_digest_size(self):
+        assert len(sha1(b"x")) == 20  # the paper's 20 B vs our 4 B
+
+
+class TestMD5:
+    def test_rfc1321_vectors(self):
+        vectors = {
+            b"": "d41d8cd98f00b204e9800998ecf8427e",
+            b"a": "0cc175b9c0f1b6a831c399e269772661",
+            b"abc": "900150983cd24fb0d6963f7d28e17f72",
+            b"message digest": "f96b697d7cb7938d525a2f31aaf161d0",
+        }
+        for message, expected in vectors.items():
+            assert MD5(message).hexdigest() == expected
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=80)
+    def test_matches_hashlib(self, data):
+        assert md5(data) == hashlib.md5(data).digest()
+
+    @given(st.lists(st.binary(max_size=80), max_size=6))
+    @settings(max_examples=40)
+    def test_incremental_updates(self, chunks):
+        incremental = MD5()
+        for chunk in chunks:
+            incremental.update(chunk)
+        assert incremental.digest() == hashlib.md5(b"".join(chunks)).digest()
+
+    def test_digest_size(self):
+        assert len(md5(b"x")) == 16
+
+
+class TestCRC:
+    @given(st.binary(max_size=500))
+    @settings(max_examples=100)
+    def test_crc32_matches_binascii(self, data):
+        assert crc32(data) == binascii.crc32(data)
+
+    def test_crc16_arc_vector(self):
+        # Standard CRC-16/ARC check value.
+        assert crc16(b"123456789") == 0xBB3D
+
+    def test_crc_digest_width(self):
+        assert len(CRC16.digest(b"data")) == 2
+
+    def test_crc_streaming_equivalence(self):
+        """CRC over concatenation equals continuing from the state."""
+        first = CRC16.compute(b"hello", state=CRC16.init)
+        resumed = CRC16.compute(b" world", state=first ^ CRC16.xor_out)
+        assert resumed == crc16(b"hello world")
+
+
+class TestKarpRabin:
+    def test_fingerprint_positional(self):
+        kr = KarpRabinFingerprint()
+        assert kr.fingerprint(b"ab") != kr.fingerprint(b"ba")
+
+    def test_search_exact(self):
+        kr = KarpRabinFingerprint()
+        assert kr.search(b"abracadabra", b"abra") == [0, 7]
+        assert kr.search(b"abracadabra", b"xyz") == []
+
+    def test_search_overlapping(self):
+        kr = KarpRabinFingerprint()
+        assert kr.search(b"aaaa", b"aa") == [0, 1, 2]
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(SignatureError):
+            KarpRabinFingerprint().search(b"abc", b"")
+
+    def test_needle_longer_than_haystack(self):
+        assert KarpRabinFingerprint().search(b"ab", b"abc") == []
+
+    @given(st.binary(min_size=5, max_size=120), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_matches_naive(self, haystack, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, len(haystack) - 2))
+        needle = haystack[start:start + 3]
+        expected = [i for i in range(len(haystack) - 2)
+                    if haystack[i:i + 3] == needle]
+        assert KarpRabinFingerprint().search(haystack, needle) == expected
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(SignatureError):
+            KarpRabinFingerprint(modulus=1)
+
+
+class TestXorFold:
+    def test_empty(self):
+        assert xor_fold(b"") == 0
+
+    def test_permutation_invariant(self):
+        """The XOR fold has no positional sensitivity -- why it is only
+        a control, never a signature."""
+        assert xor_fold(b"abc") == xor_fold(b"cba")
+
+    def test_search_exact_results(self):
+        assert xor_fold_search(b"abracadabra", b"abra") == [0, 7]
+
+    @given(st.binary(min_size=5, max_size=120), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_matches_naive(self, haystack, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, len(haystack) - 2))
+        needle = haystack[start:start + 3]
+        expected = [i for i in range(len(haystack) - 2)
+                    if haystack[i:i + 3] == needle]
+        assert xor_fold_search(haystack, needle) == expected
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(SignatureError):
+            xor_fold_search(b"abc", b"")

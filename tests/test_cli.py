@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GF(2^16)" in out
+        assert "4-byte signatures" in out
+
+    def test_default_is_info(self, capsys):
+        assert main([]) == 0
+        assert "Algebraic Signatures" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "GF(2^16), n=2" in out
+        assert "2^-32" in out
+
+    def test_recommend_small_page(self, capsys):
+        assert main(["recommend", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "pages of 100 bytes" in out
+
+    def test_recommend_needs_argument(self, capsys):
+        assert main(["recommend"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "Commands" in capsys.readouterr().err

@@ -1,0 +1,117 @@
+"""Cross-field sweeps: every supported GF(2^f) behaves identically.
+
+The paper deploys f in {8, 16}; the library supports 2..16 so collision
+experiments can run in observable regimes.  These sweeps pin the whole
+range: field axioms, proposition behaviour, and signature serialization
+must hold for every f -- any table-construction bug for an unusual
+width shows up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF
+from repro.sig import (
+    PRIMITIVE,
+    STANDARD,
+    Signature,
+    apply_update,
+    concat,
+    make_scheme,
+)
+
+ALL_F = list(range(2, 17))
+
+
+@pytest.mark.parametrize("f", ALL_F)
+class TestFieldSweep:
+    def test_inverses(self, f):
+        field = GF(f)
+        rng = np.random.default_rng(f)
+        samples = rng.integers(1, field.size, min(64, field.order))
+        for a in samples:
+            assert field.mul(int(a), field.inv(int(a))) == 1
+
+    def test_axioms_sampled(self, f):
+        field = GF(f)
+        rng = np.random.default_rng(f + 100)
+        for _ in range(30):
+            a, b, c = (int(v) for v in rng.integers(0, field.size, 3))
+            assert field.mul(a, b) == field.mul(b, a)
+            assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+            assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    def test_alpha_cycles_whole_group(self, f):
+        field = GF(f)
+        assert field.element_order(field.alpha) == field.order
+
+    def test_fermat(self, f):
+        field = GF(f)
+        rng = np.random.default_rng(f + 200)
+        for a in rng.integers(1, field.size, 16):
+            assert field.pow(int(a), field.order) == 1
+
+
+@pytest.mark.parametrize("f", [2, 3, 4, 5, 8, 11, 13, 16])
+@pytest.mark.parametrize("variant", [STANDARD, PRIMITIVE])
+class TestSchemeSweep:
+    def _scheme(self, f, variant):
+        n = 2 if f <= 3 else 3
+        return make_scheme(f=f, n=n, variant=variant)
+
+    def test_prop1_sampled(self, f, variant):
+        scheme = self._scheme(f, variant)
+        if variant == PRIMITIVE and scheme.n > 2:
+            pytest.skip("Prop 1 is proven for sig (and sig' only at n<=2)")
+        field = scheme.field
+        rng = np.random.default_rng(f)
+        size = min(20, scheme.max_page_symbols)
+        for _ in range(30):
+            page = rng.integers(0, field.size, size).astype(np.int64)
+            base_sig = scheme.sign(page)
+            k = int(rng.integers(1, scheme.n + 1))
+            positions = rng.choice(size, size=k, replace=False)
+            altered = page.copy()
+            for position in positions:
+                altered[position] ^= int(rng.integers(1, field.size))
+            assert scheme.sign(altered) != base_sig
+
+    def test_prop3(self, f, variant):
+        scheme = self._scheme(f, variant)
+        field = scheme.field
+        rng = np.random.default_rng(f + 1)
+        size = min(20, scheme.max_page_symbols)
+        page = rng.integers(0, field.size, size).astype(np.int64)
+        start = size // 3
+        stop = min(start + 4, size)
+        new_region = rng.integers(0, field.size, stop - start).astype(np.int64)
+        updated = page.copy()
+        updated[start:stop] = new_region
+        assert apply_update(
+            scheme, scheme.sign(page), page[start:stop], new_region, start
+        ) == scheme.sign(updated)
+
+    def test_prop5(self, f, variant):
+        scheme = self._scheme(f, variant)
+        field = scheme.field
+        rng = np.random.default_rng(f + 2)
+        half = min(8, scheme.max_page_symbols // 2)
+        p1 = rng.integers(0, field.size, half).astype(np.int64)
+        p2 = rng.integers(0, field.size, half).astype(np.int64)
+        assert concat(scheme, scheme.sign(p1), half, scheme.sign(p2)) == \
+            scheme.sign(np.concatenate([p1, p2]))
+
+    def test_serialization(self, f, variant):
+        scheme = self._scheme(f, variant)
+        rng = np.random.default_rng(f + 3)
+        page = rng.integers(0, scheme.field.size,
+                            min(10, scheme.max_page_symbols)).astype(np.int64)
+        sig = scheme.sign(page)
+        assert Signature.from_bytes(sig.to_bytes(), scheme.scheme_id) == sig
+
+    def test_scalar_matches_vectorized(self, f, variant):
+        scheme = self._scheme(f, variant)
+        rng = np.random.default_rng(f + 4)
+        page = rng.integers(0, scheme.field.size,
+                            min(15, scheme.max_page_symbols)).astype(np.int64)
+        assert scheme.sign(page) == scheme.sign_scalar(page)

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; a library change that
+breaks one must fail the suite.  Each script asserts its own claims
+internally, so exit code 0 means the demonstrated behaviour held.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    """At least the documented set of examples exists."""
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {"quickstart.py", "bucket_backup.py", "concurrent_updates.py",
+            "distributed_search.py", "parity_audit.py", "ram_database.py",
+            "replica_sync.py"} <= names
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, \
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,106 @@
+"""Tests for the operator-overloaded GFElement wrapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GaloisFieldError, NotInvertibleError
+from repro.gf import GF, GFElement
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return GF(8)
+
+
+class TestConstruction:
+    def test_from_field_method(self, gf):
+        element = gf.element(7)
+        assert isinstance(element, GFElement)
+        assert element.value == 7
+
+    def test_out_of_range_rejected(self, gf):
+        with pytest.raises(GaloisFieldError):
+            GFElement(gf, 256)
+
+
+class TestOperators:
+    def test_add_is_xor(self, gf):
+        assert (gf.element(0b1010) + gf.element(0b0110)).value == 0b1100
+
+    def test_add_int_operand(self, gf):
+        assert (gf.element(5) + 3).value == 6
+        assert (3 + gf.element(5)).value == 6
+
+    def test_sub_equals_add(self, gf):
+        a, b = gf.element(77), gf.element(13)
+        assert (a - b) == (a + b)
+
+    def test_neg_is_identity(self, gf):
+        a = gf.element(42)
+        assert -a == a
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_mul_matches_field(self, x, y):
+        gf = GF(8)
+        assert (gf.element(x) * gf.element(y)).value == gf.mul(x, y)
+
+    def test_mul_by_int(self, gf):
+        assert (gf.element(3) * 2).value == gf.mul(3, 2)
+        assert (2 * gf.element(3)).value == gf.mul(3, 2)
+
+    def test_truediv(self, gf):
+        a, b = gf.element(100), gf.element(7)
+        assert ((a / b) * b) == a
+
+    def test_rtruediv(self, gf):
+        b = gf.element(7)
+        assert ((100 / b) * b).value == 100
+
+    def test_division_by_zero(self, gf):
+        with pytest.raises(NotInvertibleError):
+            gf.element(5) / gf.element(0)
+
+    def test_pow(self, gf):
+        a = gf.element(3)
+        assert (a ** 5).value == gf.pow(3, 5)
+        assert (a ** -1) == a.inverse()
+
+    def test_inverse(self, gf):
+        for value in (1, 2, 7, 200, 255):
+            assert (gf.element(value) * gf.element(value).inverse()).value == 1
+
+
+class TestMixedFields:
+    def test_cross_field_addition_rejected(self):
+        with pytest.raises(GaloisFieldError):
+            GF(8).element(1) + GF(16).element(1)
+
+    def test_cross_field_multiplication_rejected(self):
+        with pytest.raises(GaloisFieldError):
+            GF(8).element(2) * GF(4).element(2)
+
+
+class TestProtocol:
+    def test_equality_with_int(self, gf):
+        assert gf.element(9) == 9
+        assert gf.element(9) != 10
+
+    def test_hashable(self, gf):
+        assert len({gf.element(1), gf.element(1), gf.element(2)}) == 2
+
+    def test_bool(self, gf):
+        assert gf.element(1)
+        assert not gf.element(0)
+
+    def test_int_conversion(self, gf):
+        assert int(gf.element(77)) == 77
+
+    def test_log_and_order(self, gf):
+        assert gf.element(2).log() == 1
+        assert gf.element(2).order() == gf.order
+        assert gf.element(2).is_primitive()
+        assert not gf.element(1).is_primitive()
+
+    def test_repr(self, gf):
+        assert "2^8" in repr(gf.element(3))

@@ -1,0 +1,235 @@
+"""Unit and property tests for GF(2^f) field arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GaloisFieldError, NotInvertibleError
+from repro.gf import GF, DEFAULT_POLYNOMIALS, GField, find_primitive_polynomial
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("f", range(2, 17))
+    def test_all_supported_widths(self, f):
+        field = GF(f)
+        assert field.size == 1 << f
+        assert field.order == (1 << f) - 1
+
+    def test_width_out_of_range(self):
+        with pytest.raises(GaloisFieldError):
+            GField(1)
+        with pytest.raises(GaloisFieldError):
+            GField(17)
+
+    def test_non_primitive_generator_rejected(self):
+        # x^4+x^3+x^2+x+1 is irreducible but not primitive.
+        with pytest.raises(GaloisFieldError):
+            GField(4, generator=0b11111)
+
+    def test_wrong_degree_generator_rejected(self):
+        with pytest.raises(GaloisFieldError):
+            GField(8, generator=0b1011)
+
+    def test_alternate_primitive_generator_accepted(self):
+        field = GField(16, generator=0x1100B)
+        assert field.mul(3, field.inv(3)) == 1
+
+    def test_gf_caches_instances(self):
+        assert GF(8) is GF(8)
+        assert GF(8) is not GF(8, 0x12B) if 0x12B != DEFAULT_POLYNOMIALS[8] else True
+
+    def test_catalogue_matches_exhaustive_search(self):
+        # The cached defaults are re-derivable from scratch.
+        for f in range(2, 17):
+            assert DEFAULT_POLYNOMIALS[f] == find_primitive_polynomial(f)
+
+
+class TestTables:
+    def test_log_antilog_inverse(self, gf8):
+        for value in range(1, gf8.size):
+            assert gf8.antilog(gf8.log(value)) == value
+
+    def test_antilog_cycles(self, gf8):
+        assert gf8.antilog(0) == 1
+        assert gf8.antilog(gf8.order) == 1
+
+    def test_log_zero_undefined(self, gf8):
+        with pytest.raises(GaloisFieldError):
+            gf8.log(0)
+
+    def test_alpha_is_x(self, gf8):
+        assert gf8.alpha == 2
+        assert gf8.log(gf8.alpha) == 1
+
+    def test_antilog_table_is_permutation(self, gf16):
+        values = np.sort(gf16.antilog_table)
+        assert np.array_equal(values, np.arange(1, gf16.size))
+
+
+class TestFieldAxioms:
+    """Field axioms, exhaustive in GF(2^4) and sampled in GF(2^8)/GF(2^16)."""
+
+    def test_exhaustive_axioms_gf4(self, gf4):
+        size = gf4.size
+        for a in range(size):
+            for b in range(size):
+                assert gf4.mul(a, b) == gf4.mul(b, a)
+                for c in range(size):
+                    assert gf4.mul(a, b ^ c) == gf4.mul(a, b) ^ gf4.mul(a, c)
+
+    def test_exhaustive_associativity_gf4(self, gf4):
+        size = gf4.size
+        for a in range(size):
+            for b in range(size):
+                for c in range(size):
+                    assert gf4.mul(gf4.mul(a, b), c) == gf4.mul(a, gf4.mul(b, c))
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_sampled_axioms_gf8(self, a, b, c):
+        gf8 = GF(8)
+        assert gf8.mul(a, b) == gf8.mul(b, a)
+        assert gf8.mul(gf8.mul(a, b), c) == gf8.mul(a, gf8.mul(b, c))
+        assert gf8.mul(a, b ^ c) == gf8.mul(a, b) ^ gf8.mul(a, c)
+
+    @given(st.integers(0, 65535), st.integers(0, 65535), st.integers(0, 65535))
+    @settings(max_examples=200)
+    def test_sampled_axioms_gf16(self, a, b, c):
+        gf16 = GF(16)
+        assert gf16.mul(a, b) == gf16.mul(b, a)
+        assert gf16.mul(gf16.mul(a, b), c) == gf16.mul(a, gf16.mul(b, c))
+        assert gf16.mul(a, b ^ c) == gf16.mul(a, b) ^ gf16.mul(a, c)
+
+    def test_multiplicative_identity(self, gf8):
+        for a in range(gf8.size):
+            assert gf8.mul(a, 1) == a
+
+    def test_zero_annihilates(self, gf8):
+        for a in range(gf8.size):
+            assert gf8.mul(a, 0) == 0
+
+    def test_every_nonzero_invertible_gf8(self, gf8):
+        for a in range(1, gf8.size):
+            assert gf8.mul(a, gf8.inv(a)) == 1
+
+    @given(st.integers(1, 65535))
+    def test_inverse_gf16(self, a):
+        gf16 = GF(16)
+        assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_zero_not_invertible(self, gf8):
+        with pytest.raises(NotInvertibleError):
+            gf8.inv(0)
+
+    def test_mul_matches_polynomial_mulmod(self, gf8):
+        """Table multiplication agrees with direct polynomial arithmetic."""
+        from repro.gf.polynomial import mulmod
+
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            assert gf8.mul(a, b) == mulmod(a, b, gf8.generator)
+
+
+class TestDivision:
+    @given(st.integers(0, 255), st.integers(1, 255))
+    def test_div_then_mul(self, a, b):
+        gf8 = GF(8)
+        assert gf8.mul(gf8.div(a, b), b) == a
+
+    def test_division_by_zero(self, gf8):
+        with pytest.raises(NotInvertibleError):
+            gf8.div(5, 0)
+
+    def test_zero_dividend(self, gf8):
+        assert gf8.div(0, 7) == 0
+
+
+class TestPow:
+    def test_pow_zero_exponent(self, gf8):
+        assert gf8.pow(5, 0) == 1
+        assert gf8.pow(0, 0) == 1
+
+    def test_pow_zero_base(self, gf8):
+        assert gf8.pow(0, 5) == 0
+        with pytest.raises(NotInvertibleError):
+            gf8.pow(0, -1)
+
+    @given(st.integers(1, 255), st.integers(-20, 40))
+    @settings(max_examples=100)
+    def test_pow_matches_repeated_mul(self, a, exponent):
+        gf8 = GF(8)
+        result = gf8.pow(a, exponent)
+        expected = 1
+        base = a if exponent >= 0 else gf8.inv(a)
+        for _ in range(abs(exponent)):
+            expected = gf8.mul(expected, base)
+        assert result == expected
+
+    def test_pow_negative_is_inverse_power(self, gf8):
+        for a in (1, 2, 7, 255):
+            assert gf8.pow(a, -1) == gf8.inv(a)
+
+    def test_fermat(self, gf8):
+        """a^(2^f - 1) == 1 for every non-zero a."""
+        for a in range(1, gf8.size):
+            assert gf8.pow(a, gf8.order) == 1
+
+
+class TestOrderAndPrimitivity:
+    def test_order_divides_group_order(self, gf8):
+        for a in range(1, gf8.size):
+            assert gf8.order % gf8.element_order(a) == 0
+
+    def test_order_definition(self, gf8):
+        for a in (2, 3, 7, 100):
+            order = gf8.element_order(a)
+            assert gf8.pow(a, order) == 1
+            for divisor in range(1, order):
+                if order % divisor == 0 and divisor < order:
+                    assert gf8.pow(a, divisor) != 1 or divisor == order
+
+    def test_primitive_element_count_gf8(self, gf8):
+        """phi(255) = 128 primitive elements (the paper says 'roughly half')."""
+        count = sum(1 for _ in gf8.primitive_elements())
+        assert count == 128
+
+    def test_primitive_element_count_matches_totient(self, gf4):
+        count = sum(1 for _ in gf4.primitive_elements())
+        totient = sum(1 for k in range(1, gf4.order + 1)
+                      if math.gcd(k, gf4.order) == 1)
+        assert count == totient
+
+    def test_alpha_primitive(self, gf16):
+        assert gf16.is_primitive_element(gf16.alpha)
+
+    def test_one_not_primitive(self, gf8):
+        assert not gf8.is_primitive_element(1)
+        assert gf8.element_order(1) == 1
+
+    def test_zero_has_no_order(self, gf8):
+        with pytest.raises(GaloisFieldError):
+            gf8.element_order(0)
+
+    def test_powers_of_primitive_cover_group(self, gf4):
+        seen = {gf4.pow(gf4.alpha, i) for i in range(gf4.order)}
+        assert seen == set(range(1, gf4.size))
+
+
+class TestValidation:
+    def test_validate_accepts_elements(self, gf8):
+        assert gf8.validate(255) == 255
+        assert gf8.validate(0) == 0
+
+    def test_validate_rejects_out_of_range(self, gf8):
+        with pytest.raises(GaloisFieldError):
+            gf8.validate(256)
+        with pytest.raises(GaloisFieldError):
+            gf8.validate(-1)
+
+    def test_repr_and_eq(self):
+        assert GF(8) == GF(8)
+        assert GF(8) != GF(16)
+        assert "2^8" in repr(GF(8))

@@ -1,0 +1,138 @@
+"""Tests for GF linear algebra: solve, invert, Vandermonde machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotInvertibleError
+from repro.gf import GF, linalg
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return GF(8)
+
+
+def random_invertible(gf, n, rng):
+    """Draw a random invertible n x n matrix (rejection sampling)."""
+    while True:
+        matrix = [[int(rng.integers(0, gf.size)) for _ in range(n)] for _ in range(n)]
+        if linalg.is_invertible(gf, matrix):
+            return matrix
+
+
+class TestMatVec:
+    def test_identity(self, gf):
+        identity = linalg.identity(gf, 3)
+        vector = [5, 7, 9]
+        assert linalg.mat_vec(gf, identity, vector) == vector
+
+    def test_linear_in_vector(self, gf, rng):
+        matrix = [[1, 2], [3, 4]]
+        x = [int(rng.integers(0, 256)) for _ in range(2)]
+        y = [int(rng.integers(0, 256)) for _ in range(2)]
+        left = linalg.mat_vec(gf, matrix, [a ^ b for a, b in zip(x, y)])
+        right = [
+            a ^ b for a, b in zip(
+                linalg.mat_vec(gf, matrix, x), linalg.mat_vec(gf, matrix, y)
+            )
+        ]
+        assert left == right
+
+
+class TestMatMul:
+    def test_identity_neutral(self, gf, rng):
+        matrix = random_invertible(gf, 3, rng)
+        identity = linalg.identity(gf, 3)
+        assert linalg.mat_mul(gf, matrix, identity) == matrix
+        assert linalg.mat_mul(gf, identity, matrix) == matrix
+
+    def test_associates_with_mat_vec(self, gf, rng):
+        a = random_invertible(gf, 3, rng)
+        b = random_invertible(gf, 3, rng)
+        x = [int(rng.integers(0, 256)) for _ in range(3)]
+        assert linalg.mat_vec(gf, linalg.mat_mul(gf, a, b), x) == \
+            linalg.mat_vec(gf, a, linalg.mat_vec(gf, b, x))
+
+
+class TestSolve:
+    @given(st.integers(1, 5), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_solve_roundtrip(self, n, seed):
+        gf = GF(8)
+        rng = np.random.default_rng(seed)
+        matrix = random_invertible(gf, n, rng)
+        x = [int(rng.integers(0, 256)) for _ in range(n)]
+        rhs = linalg.mat_vec(gf, matrix, x)
+        assert linalg.solve(gf, matrix, rhs) == x
+
+    def test_singular_rejected(self, gf):
+        singular = [[1, 2], [1, 2]]
+        with pytest.raises(NotInvertibleError):
+            linalg.solve(gf, singular, [1, 2])
+
+
+class TestInvert:
+    def test_inverse_times_matrix(self, gf, rng):
+        matrix = random_invertible(gf, 4, rng)
+        inverse = linalg.invert(gf, matrix)
+        assert linalg.mat_mul(gf, inverse, matrix) == linalg.identity(gf, 4)
+        assert linalg.mat_mul(gf, matrix, inverse) == linalg.identity(gf, 4)
+
+    def test_singular_rejected(self, gf):
+        with pytest.raises(NotInvertibleError):
+            linalg.invert(gf, [[0, 0], [0, 0]])
+
+
+class TestDeterminant:
+    def test_identity_determinant(self, gf):
+        assert linalg.determinant(gf, linalg.identity(gf, 4)) == 1
+
+    def test_singular_determinant_zero(self, gf):
+        assert linalg.determinant(gf, [[1, 1], [1, 1]]) == 0
+
+    def test_diagonal(self, gf):
+        matrix = [[3, 0, 0], [0, 5, 0], [0, 0, 7]]
+        expected = gf.mul(gf.mul(3, 5), 7)
+        assert linalg.determinant(gf, matrix) == expected
+
+
+class TestVandermonde:
+    """The invertibility at the heart of Propositions 1, 2 and 4."""
+
+    def test_shape_and_entries(self, gf):
+        xs = [2, 3, 5]
+        matrix = linalg.vandermonde(gf, xs, 3, first_power=1)
+        for i, x in enumerate(xs):
+            for j in range(3):
+                assert matrix[i][j] == gf.pow(x, 1 + j)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 6))
+    @settings(max_examples=40)
+    def test_distinct_nonzero_points_invertible(self, seed, n):
+        """Vandermonde on distinct non-zero points is invertible -- the
+        exact argument in the proof of Proposition 1."""
+        gf = GF(8)
+        rng = np.random.default_rng(seed)
+        xs = [int(v) for v in rng.choice(np.arange(1, gf.size), n, replace=False)]
+        matrix = linalg.vandermonde(gf, xs, n, first_power=1)
+        assert linalg.is_invertible(gf, matrix)
+
+    def test_repeated_points_singular(self, gf):
+        matrix = linalg.vandermonde(gf, [3, 3], 2)
+        assert not linalg.is_invertible(gf, matrix)
+
+    def test_proposition1_matrix_exhaustive_gf4(self, gf4):
+        """For every set of distinct positions i_v < ord(alpha), the
+        Proposition-1 matrix (alpha^j)^{i_v} is invertible -- checked for
+        all position pairs in GF(2^4), n = 2."""
+        from itertools import combinations
+
+        alpha = gf4.alpha
+        for positions in combinations(range(gf4.order), 2):
+            matrix = [
+                [gf4.pow(gf4.pow(alpha, j), i) for j in range(1, 3)]
+                for i in positions
+            ]
+            assert linalg.is_invertible(gf4, matrix), positions

@@ -1,0 +1,195 @@
+"""Unit tests for binary polynomial arithmetic over GF(2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GaloisFieldError
+from repro.gf import polynomial as P
+
+polys = st.integers(min_value=0, max_value=(1 << 20) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 20) - 1)
+
+
+class TestDegree:
+    def test_zero_polynomial(self):
+        assert P.degree(0) == -1
+
+    def test_constant_one(self):
+        assert P.degree(1) == 0
+
+    def test_example_from_paper(self):
+        # 101001 <-> x^5 + x^3 + 1 (Section 3).
+        assert P.degree(0b101001) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(GaloisFieldError):
+            P.degree(-1)
+
+
+class TestAddMul:
+    def test_add_is_xor(self):
+        assert P.add(0b1010, 0b0110) == 0b1100
+
+    def test_add_self_cancels(self):
+        assert P.add(0b1011, 0b1011) == 0
+
+    def test_mul_by_zero(self):
+        assert P.mul(0b1011, 0) == 0
+        assert P.mul(0, 0b1011) == 0
+
+    def test_mul_by_one(self):
+        assert P.mul(0b1011, 1) == 0b1011
+
+    def test_freshman_dream(self):
+        # (x+1)^2 = x^2 + 1 in characteristic 2.
+        assert P.mul(0b11, 0b11) == 0b101
+
+    def test_mul_degrees_add(self):
+        a, b = 0b1101, 0b101
+        assert P.degree(P.mul(a, b)) == P.degree(a) + P.degree(b)
+
+    @given(polys, polys)
+    def test_mul_commutative(self, a, b):
+        assert P.mul(a, b) == P.mul(b, a)
+
+    @given(polys, polys, polys)
+    @settings(max_examples=50)
+    def test_mul_associative(self, a, b, c):
+        assert P.mul(P.mul(a, b), c) == P.mul(a, P.mul(b, c))
+
+    @given(polys, polys, polys)
+    @settings(max_examples=50)
+    def test_distributive(self, a, b, c):
+        assert P.mul(a, b ^ c) == P.mul(a, b) ^ P.mul(a, c)
+
+
+class TestDivMod:
+    def test_division_by_zero(self):
+        with pytest.raises(GaloisFieldError):
+            P.divmod_poly(0b101, 0)
+
+    @given(polys, nonzero_polys)
+    def test_divmod_identity(self, a, b):
+        q, r = P.divmod_poly(a, b)
+        assert P.mul(q, b) ^ r == a
+        assert P.degree(r) < P.degree(b)
+
+    def test_mod_reduces(self):
+        assert P.mod(0b100011101, 0b100011101) == 0
+
+    @given(polys, nonzero_polys, nonzero_polys)
+    @settings(max_examples=50)
+    def test_mulmod_matches_mul_then_mod(self, a, b, m):
+        assert P.mulmod(a, b, m) == P.mod(P.mul(a, b), m)
+
+
+class TestPowmod:
+    def test_power_zero(self):
+        assert P.powmod(0b101, 0, 0b1011) == 1
+
+    def test_power_one(self):
+        assert P.powmod(0b101, 1, 0b1011) == P.mod(0b101, 0b1011)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(GaloisFieldError):
+            P.powmod(0b101, -1, 0b1011)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=40))
+    @settings(max_examples=50)
+    def test_matches_repeated_multiplication(self, base, exponent):
+        modulus = 0b100011101  # degree-8 primitive
+        expected = 1
+        for _ in range(exponent):
+            expected = P.mulmod(expected, base, modulus)
+        assert P.powmod(base, exponent, modulus) == expected
+
+
+class TestGcd:
+    def test_gcd_with_zero(self):
+        assert P.gcd(0b1011, 0) == 0b1011
+
+    def test_gcd_of_multiples(self):
+        a = 0b111
+        assert P.gcd(P.mul(a, 0b1101), P.mul(a, 0b10)) % a == 0
+
+    @given(nonzero_polys, nonzero_polys)
+    @settings(max_examples=50)
+    def test_gcd_divides_both(self, a, b):
+        g = P.gcd(a, b)
+        assert P.mod(a, g) == 0
+        assert P.mod(b, g) == 0
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        assert P.is_irreducible(0b111)       # x^2+x+1
+        assert P.is_irreducible(0b1011)      # x^3+x+1
+        assert P.is_irreducible(0b100011101)  # the f=8 generator
+
+    def test_known_reducible(self):
+        assert not P.is_irreducible(P.mul(0b111, 0b11))
+        assert not P.is_irreducible(0b101)   # x^2+1 = (x+1)^2
+
+    def test_constants_not_irreducible(self):
+        assert not P.is_irreducible(0)
+        assert not P.is_irreducible(1)
+
+    def test_degree_one_irreducible(self):
+        assert P.is_irreducible(0b10)
+        assert P.is_irreducible(0b11)
+
+    def test_products_of_irreducibles_are_reducible(self):
+        irreducibles = [p for p in range(2, 64) if P.is_irreducible(p)]
+        for a in irreducibles[:5]:
+            for b in irreducibles[:5]:
+                assert not P.is_irreducible(P.mul(a, b))
+
+
+class TestPrimitivity:
+    def test_primitive_implies_irreducible(self):
+        for poly in range(2, 1 << 10):
+            if P.is_primitive(poly):
+                assert P.is_irreducible(poly)
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: order of x is 5, not 15.
+        poly = 0b11111
+        assert P.is_irreducible(poly)
+        assert not P.is_primitive(poly)
+
+    def test_paper_generators_primitive(self):
+        assert P.is_primitive(0x11D)
+        assert P.is_primitive(0x1002D)
+        assert P.is_primitive(0x1100B)  # alternate f=16 generator
+
+
+class TestSearch:
+    @pytest.mark.parametrize("degree_f", range(1, 13))
+    def test_found_polynomial_is_primitive(self, degree_f):
+        poly = P.find_primitive_polynomial(degree_f)
+        assert P.degree(poly) == degree_f
+        assert P.is_primitive(poly)
+
+    def test_smallest_is_found(self):
+        # No primitive polynomial of degree 4 below x^4 + x + 1.
+        found = P.find_primitive_polynomial(4)
+        assert found == 0b10011
+        for candidate in range(1 << 4, found):
+            assert not P.is_primitive(candidate)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(GaloisFieldError):
+            P.find_primitive_polynomial(0)
+
+
+class TestPolyStr:
+    def test_zero(self):
+        assert P.poly_str(0) == "0"
+
+    def test_paper_example(self):
+        assert P.poly_str(0b101001) == "x^5 + x^3 + 1"
+
+    def test_linear(self):
+        assert P.poly_str(0b11) == "x + 1"

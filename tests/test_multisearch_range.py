@@ -1,0 +1,129 @@
+"""Tests for multi-pattern search and RP* range queries."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SDDSError, SignatureError
+from repro.sdds import RPFile, Record
+from repro.sig import MultiPatternSearcher, make_scheme
+
+
+class TestMultiPatternSearcher:
+    def test_basic_gf8(self):
+        scheme = make_scheme(f=8, n=2)
+        searcher = MultiPatternSearcher(scheme, [b"abra", b"cad", b"ra"])
+        results = searcher.search(b"abracadabra")
+        assert results == {0: [0, 7], 1: [4], 2: [2, 9]}
+
+    def test_absent_patterns_omitted(self):
+        scheme = make_scheme(f=8, n=2)
+        searcher = MultiPatternSearcher(scheme, [b"xyz", b"abc"])
+        results = searcher.search(b"abcabc")
+        assert results == {1: [0, 3]}
+
+    def test_gf16_both_alignments(self):
+        scheme = make_scheme(f=16, n=2)
+        searcher = MultiPatternSearcher(scheme, [b"NEEDLE"])
+        assert searcher.search(b"..NEEDLE..")[0] == [2]   # even offset
+        assert searcher.search(b".NEEDLE..")[0] == [1]    # odd offset
+
+    def test_gf16_odd_pattern_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        with pytest.raises(SignatureError):
+            MultiPatternSearcher(scheme, [b"abc"])
+
+    def test_same_length_patterns_share_one_pass(self):
+        scheme = make_scheme(f=8, n=2)
+        searcher = MultiPatternSearcher(
+            scheme, [b"aaa", b"bbb", b"ccc", b"abc"]
+        )
+        assert len(searcher._by_length) == 1  # one window length
+
+    def test_duplicate_patterns_both_reported(self):
+        scheme = make_scheme(f=8, n=2)
+        searcher = MultiPatternSearcher(scheme, [b"dup", b"dup"])
+        results = searcher.search(b"xxdupxx")
+        assert results == {0: [2], 1: [2]}
+
+    def test_empty_pattern_rejected(self):
+        scheme = make_scheme(f=8, n=2)
+        with pytest.raises(SignatureError):
+            MultiPatternSearcher(scheme, [b"ok", b""])
+
+    def test_no_patterns_rejected(self):
+        with pytest.raises(SignatureError):
+            MultiPatternSearcher(make_scheme(f=8, n=2), [])
+
+    @given(st.binary(min_size=20, max_size=150), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_per_pattern_naive_search(self, haystack, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        scheme = make_scheme(f=8, n=2)
+        patterns = []
+        for _ in range(3):
+            start = int(rng.integers(0, len(haystack) - 4))
+            length = int(rng.integers(2, 5))
+            patterns.append(haystack[start:start + length])
+        searcher = MultiPatternSearcher(scheme, patterns)
+        results = searcher.search(haystack)
+        for index, pattern in enumerate(patterns):
+            expected = [
+                i for i in range(len(haystack) - len(pattern) + 1)
+                if haystack[i:i + len(pattern)] == pattern
+            ]
+            assert results.get(index, []) == expected
+
+
+class TestRPRangeSearch:
+    def build(self, n_records=300, capacity=20, seed=8):
+        file = RPFile(make_scheme(f=8, n=2), capacity_records=capacity)
+        client = file.client()
+        keys = random.Random(seed).sample(range(100_000), n_records)
+        for key in keys:
+            client.insert(Record(key, b"v%06d" % key))
+        return file, client, sorted(keys)
+
+    def test_matches_reference(self):
+        file, client, keys = self.build()
+        low, high = keys[50], keys[200]
+        result = client.range_search(low, high)
+        expected = [key for key in keys if low <= key < high]
+        assert [record.key for record in result.records] == expected
+
+    def test_results_ordered_across_buckets(self):
+        file, client, keys = self.build()
+        assert file.bucket_count > 3
+        result = client.range_search(0, 1 << 32)
+        got = [record.key for record in result.records]
+        assert got == keys
+
+    def test_empty_intersection(self):
+        file, client, keys = self.build(n_records=30)
+        gap_low = max(keys) + 1
+        result = client.range_search(gap_low, gap_low + 100)
+        assert result.records == ()
+
+    def test_only_intersecting_buckets_queried(self):
+        file, client, keys = self.build()
+        narrow_low = keys[10]
+        narrow_high = keys[11] + 1
+        before = file.network.stats.messages
+        client.range_search(narrow_low, narrow_high)
+        probes = (file.network.stats.messages - before) // 2
+        assert probes < file.bucket_count  # not a full broadcast
+
+    def test_bad_range_rejected(self):
+        file, client, _keys = self.build(n_records=10)
+        with pytest.raises(SDDSError):
+            client.range_search(100, 100)
+
+    def test_values_intact(self):
+        file, client, keys = self.build(n_records=50)
+        result = client.range_search(keys[0], keys[-1] + 1)
+        for record in result.records:
+            assert record.value == b"v%06d" % record.key

@@ -1,0 +1,226 @@
+"""Tests for Reed-Solomon parity and the signature consistency relation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParityError, ReconstructionError
+from repro.gf import GF, linalg
+from repro.parity import (
+    ReedSolomonCode,
+    ReliabilityGroup,
+    cauchy_matrix,
+    combine_signatures,
+    parity_consistent,
+)
+from repro.sig import make_scheme
+
+
+class TestCauchyMatrix:
+    def test_every_square_submatrix_invertible(self):
+        """The MDS property source: check all 1x1 and 2x2 submatrices of
+        a 3x4 Cauchy matrix over GF(2^8)."""
+        from itertools import combinations
+
+        gf = GF(8)
+        matrix = cauchy_matrix(gf, 3, 4)
+        for entry_row in matrix:
+            for entry in entry_row:
+                assert entry != 0
+        for rows in combinations(range(3), 2):
+            for cols in combinations(range(4), 2):
+                sub = [[matrix[r][c] for c in cols] for r in rows]
+                assert linalg.is_invertible(gf, sub)
+
+    def test_too_large_group_rejected(self):
+        with pytest.raises(ParityError):
+            cauchy_matrix(GF(4), 10, 10)
+
+
+class TestReedSolomon:
+    def make_words(self, gf, m, length, seed):
+        rng = np.random.default_rng(seed)
+        return [rng.integers(0, gf.size, length).astype(np.int64)
+                for _ in range(m)]
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_any_erasure_pattern_reconstructs(self, seed, m, k):
+        gf = GF(8)
+        code = ReedSolomonCode(gf, m, k)
+        data = self.make_words(gf, m, 32, seed)
+        parity = code.encode(data)
+        rng = np.random.default_rng(seed + 1)
+        all_shards = {i: d for i, d in enumerate(data)}
+        all_shards.update({m + i: p for i, p in enumerate(parity)})
+        erased = rng.choice(m + k, size=min(k, m + k - m), replace=False)
+        for index in erased:
+            del all_shards[int(index)]
+        recovered = code.reconstruct(all_shards)
+        for original, got in zip(data, recovered):
+            assert np.array_equal(original, got)
+
+    def test_max_erasures_exactly_k(self):
+        gf = GF(8)
+        code = ReedSolomonCode(gf, 4, 2)
+        data = self.make_words(gf, 4, 16, 3)
+        parity = code.encode(data)
+        shards = {i: d for i, d in enumerate(data)}
+        shards.update({4 + i: p for i, p in enumerate(parity)})
+        del shards[0]
+        del shards[2]  # exactly k = 2 erasures
+        recovered = code.reconstruct(shards)
+        assert np.array_equal(recovered[0], data[0])
+        assert np.array_equal(recovered[2], data[2])
+
+    def test_too_many_erasures_rejected(self):
+        gf = GF(8)
+        code = ReedSolomonCode(gf, 3, 1)
+        data = self.make_words(gf, 3, 8, 4)
+        parity = code.encode(data)
+        shards = {0: data[0], 3: parity[0]}  # only 2 of 3 needed
+        with pytest.raises(ReconstructionError):
+            code.reconstruct(shards)
+
+    def test_parity_delta_rule(self):
+        """Updating one data shard: parity adjusts by c * delta without
+        seeing the full records (the LH*RS update path)."""
+        gf = GF(16)
+        code = ReedSolomonCode(gf, 3, 2)
+        rng = np.random.default_rng(5)
+        data = self.make_words(gf, 3, 16, 5)
+        parity = code.encode(data)
+        new_shard = rng.integers(0, gf.size, 16).astype(np.int64)
+        delta = data[1] ^ new_shard
+        data[1] = new_shard
+        for parity_index in range(2):
+            parity[parity_index] ^= code.parity_delta(parity_index, 1, delta)
+        fresh = code.encode(data)
+        for updated, recomputed in zip(parity, fresh):
+            assert np.array_equal(updated, recomputed)
+
+    def test_mismatched_lengths_rejected(self):
+        gf = GF(8)
+        code = ReedSolomonCode(gf, 2, 1)
+        with pytest.raises(ParityError):
+            code.encode([np.zeros(4, dtype=np.int64),
+                         np.zeros(5, dtype=np.int64)])
+
+    def test_wrong_shard_count_rejected(self):
+        gf = GF(8)
+        code = ReedSolomonCode(gf, 2, 1)
+        with pytest.raises(ParityError):
+            code.encode([np.zeros(4, dtype=np.int64)])
+
+
+class TestSignatureConsistency:
+    """The Section 6.2 relation: sig(parity) = sum c_j * sig(data_j)."""
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_relation_holds_for_encoded_parity(self, seed):
+        scheme = make_scheme(f=16, n=2)
+        gf = scheme.field
+        code = ReedSolomonCode(gf, 4, 2)
+        rng = np.random.default_rng(seed)
+        data = [rng.integers(0, gf.size, 64).astype(np.int64) for _ in range(4)]
+        parity = code.encode(data)
+        data_sigs = [scheme.sign(shard) for shard in data]
+        for parity_index, parity_shard in enumerate(parity):
+            assert parity_consistent(
+                scheme, data_sigs, scheme.sign(parity_shard),
+                code.parity_rows[parity_index],
+            )
+
+    def test_relation_fails_on_inconsistency(self):
+        scheme = make_scheme(f=16, n=2)
+        gf = scheme.field
+        code = ReedSolomonCode(gf, 3, 1)
+        rng = np.random.default_rng(8)
+        data = [rng.integers(0, gf.size, 32).astype(np.int64) for _ in range(3)]
+        parity = code.encode(data)[0]
+        # A data server applied an update the parity server never saw:
+        # data signatures are current, the parity signature is stale.
+        data[1][0] ^= 1
+        data_sigs = [scheme.sign(shard) for shard in data]
+        assert not parity_consistent(
+            scheme, data_sigs, scheme.sign(parity), code.parity_rows[0]
+        )
+
+    def test_combine_validates_inputs(self):
+        scheme = make_scheme(f=8, n=2)
+        with pytest.raises(ParityError):
+            combine_signatures(scheme, [scheme.sign(b"x")], [1, 2])
+        with pytest.raises(ParityError):
+            combine_signatures(scheme, [], [])
+
+    def test_cross_scheme_rejected(self):
+        scheme = make_scheme(f=8, n=2)
+        other = make_scheme(f=16, n=2)
+        with pytest.raises(ParityError):
+            combine_signatures(scheme, [other.sign(b"x")], [1])
+
+
+class TestReliabilityGroup:
+    def make_group(self, m=3, k=2, record_bytes=64, seed=0):
+        scheme = make_scheme(f=16, n=2)
+        group = ReliabilityGroup(scheme, m, k, record_bytes)
+        rng = np.random.default_rng(seed)
+        for shard in range(m):
+            group.put(0, shard, bytes(
+                rng.integers(0, 256, record_bytes, dtype=np.uint8)
+            ))
+        return group, rng
+
+    def test_put_get_roundtrip(self):
+        group, rng = self.make_group()
+        value = bytes(rng.integers(0, 256, 64, dtype=np.uint8))
+        group.put(0, 1, value)
+        assert group.get(0, 1) == value
+
+    def test_audit_passes_when_consistent(self):
+        group, _rng = self.make_group()
+        assert group.audit(0)
+
+    def test_audit_catches_corruption(self):
+        group, _rng = self.make_group()
+        group.corrupt_parity(0, 0, symbol=3)
+        assert not group.audit(0)
+
+    def test_audit_after_updates(self):
+        group, rng = self.make_group()
+        for _ in range(5):
+            shard = int(rng.integers(0, 3))
+            group.put(0, shard, bytes(rng.integers(0, 256, 64, dtype=np.uint8)))
+            assert group.audit(0)
+
+    def test_reconstruct_lost_data_shards(self):
+        group, _rng = self.make_group()
+        originals = [group.get(0, shard) for shard in range(3)]
+        recovered = group.reconstruct(0, lost_shards={0, 2})
+        from repro.gf.vectorized import symbols_to_bytes
+
+        for shard in range(3):
+            assert symbols_to_bytes(recovered[shard], group.scheme.field) == \
+                originals[shard]
+
+    def test_too_many_erasures_rejected(self):
+        group, _rng = self.make_group(m=3, k=1)
+        with pytest.raises(ParityError):
+            group.reconstruct(0, lost_shards={0, 1})
+
+    def test_record_size_validated(self):
+        group, _rng = self.make_group()
+        with pytest.raises(ParityError):
+            group.put(0, 0, b"short")
+
+    def test_odd_record_size_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        with pytest.raises(ParityError):
+            ReliabilityGroup(scheme, 2, 1, record_bytes=63)
+
+    def test_unknown_rank_rejected(self):
+        group, _rng = self.make_group()
+        with pytest.raises(ParityError):
+            group.get(99, 0)

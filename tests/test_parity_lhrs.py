@@ -1,0 +1,199 @@
+"""Tests for the LH*RS-style high-availability store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError, ParityError
+from repro.parity.lhrs import LHRSStore
+from repro.sig import make_scheme
+
+
+def make_store(m=3, k=2, record_bytes=64):
+    return LHRSStore(make_scheme(f=16, n=2), m, k, record_bytes)
+
+
+def fill(store, count=20, seed=0, value_bytes=40):
+    rng = np.random.default_rng(seed)
+    values = {}
+    for key in range(count):
+        value = bytes(rng.integers(0, 256, value_bytes, dtype=np.uint8))
+        store.insert(key, value)
+        values[key] = value
+    return values
+
+
+class TestRecordOperations:
+    def test_insert_get(self):
+        store = make_store()
+        store.insert(7, b"payload")
+        assert store.get(7) == b"payload"
+        assert 7 in store
+        assert len(store) == 1
+
+    def test_variable_lengths(self):
+        store = make_store()
+        for key, size in enumerate((0, 1, 17, 60)):
+            store.insert(key, b"x" * size)
+        for key, size in enumerate((0, 1, 17, 60)):
+            assert store.get(key) == b"x" * size
+
+    def test_value_too_long(self):
+        store = make_store(record_bytes=32)
+        with pytest.raises(ParityError):
+            store.insert(1, b"y" * 29)  # 28 is the max with the 4 B frame
+
+    def test_duplicate_insert(self):
+        store = make_store()
+        store.insert(1, b"a")
+        with pytest.raises(ParityError):
+            store.insert(1, b"b")
+
+    def test_update(self):
+        store = make_store()
+        store.insert(1, b"old")
+        store.update(1, b"new value")
+        assert store.get(1) == b"new value"
+
+    def test_delete_and_slot_reuse(self):
+        store = make_store()
+        values = fill(store, 9)
+        deleted = store.delete(3)
+        assert deleted == values[3]
+        assert 3 not in store
+        with pytest.raises(KeyNotFoundError):
+            store.get(3)
+        # A new key in the same bucket reuses the freed rank.
+        store.insert(3 + store.m * 100, b"reuser")
+        assert store.get(3 + store.m * 100) == b"reuser"
+
+    def test_keys_sorted(self):
+        store = make_store()
+        fill(store, 7)
+        assert store.keys() == list(range(7))
+
+    def test_bad_record_bytes(self):
+        with pytest.raises(ParityError):
+            LHRSStore(make_scheme(f=16, n=2), 2, 1, record_bytes=7)
+        with pytest.raises(ParityError):
+            LHRSStore(make_scheme(f=16, n=2), 2, 1, record_bytes=33)
+
+
+class TestAudit:
+    def test_consistent_after_mixed_operations(self):
+        store = make_store()
+        fill(store, 25)
+        store.update(4, b"changed")
+        store.delete(9)
+        store.insert(100, b"late arrival")
+        assert store.audit() == []
+
+    def test_detects_missed_parity_update(self):
+        store = make_store()
+        fill(store, 10)
+        store.corrupt_parity(1, rank=2, symbol=5)
+        assert 2 in store.audit()
+        assert not store.audit_rank(2)
+        assert store.audit_rank(0)
+
+    def test_audit_bad_rank(self):
+        store = make_store()
+        fill(store, 3)
+        with pytest.raises(ParityError):
+            store.audit_rank(99)
+
+
+class TestFailureRecovery:
+    def test_single_bucket_recovery(self):
+        store = make_store()
+        values = fill(store, 30, seed=1)
+        store.fail_bucket(1)
+        # Keys of bucket 1 are gone until recovery.
+        lost = [key for key in values if key % store.m == 1]
+        for key in lost:
+            assert key not in store
+        restored = store.recover()
+        assert restored == len(lost)
+        for key, value in values.items():
+            assert store.get(key) == value
+        assert store.audit() == []
+
+    def test_k_bucket_recovery(self):
+        store = make_store(m=4, k=2)
+        values = fill(store, 40, seed=2)
+        store.fail_bucket(0)
+        store.fail_bucket(3)
+        store.recover()
+        for key, value in values.items():
+            assert store.get(key) == value
+
+    def test_too_many_failures(self):
+        store = make_store(m=3, k=1)
+        fill(store, 12, seed=3)
+        store.fail_bucket(0)
+        store.fail_bucket(2)
+        with pytest.raises(ParityError):
+            store.recover()
+
+    def test_failed_bucket_blocks_access(self):
+        store = make_store()
+        fill(store, 9, seed=4)
+        store.fail_bucket(0)
+        surviving = next(key for key in range(9) if key % store.m != 0)
+        assert store.get(surviving) is not None
+        with pytest.raises(ParityError):
+            store.insert(store.m * 50, b"x")  # hashes to bucket 0
+
+    def test_recover_with_no_failures(self):
+        store = make_store()
+        fill(store, 5)
+        assert store.recover() == 0
+
+    def test_recovery_after_updates_and_deletes(self):
+        store = make_store(m=3, k=2)
+        values = fill(store, 21, seed=5)
+        store.update(2, b"fresh-2")
+        values[2] = b"fresh-2"
+        store.delete(5)
+        del values[5]
+        store.fail_bucket(2)
+        store.recover()
+        for key, value in values.items():
+            assert store.get(key) == value
+        assert 5 not in store
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_workload_then_recovery(self, seed):
+        rng = np.random.default_rng(seed)
+        store = make_store(m=3, k=2, record_bytes=32)
+        reference = {}
+        for step in range(60):
+            action = rng.random()
+            key = int(rng.integers(0, 40))
+            if action < 0.5:
+                if key not in reference:
+                    value = bytes(rng.integers(0, 256, int(rng.integers(0, 28)),
+                                               dtype=np.uint8))
+                    store.insert(key, value)
+                    reference[key] = value
+            elif action < 0.8:
+                if key in reference:
+                    value = bytes(rng.integers(0, 256, int(rng.integers(0, 28)),
+                                               dtype=np.uint8))
+                    store.update(key, value)
+                    reference[key] = value
+            else:
+                if key in reference:
+                    store.delete(key)
+                    del reference[key]
+        assert store.audit() == []
+        victims = set(int(v) for v in rng.choice(3, size=2, replace=False))
+        for victim in victims:
+            store.fail_bucket(victim)
+        store.recover()
+        assert sorted(store.keys()) == sorted(reference)
+        for key, value in reference.items():
+            assert store.get(key) == value
+        assert store.audit() == []

@@ -1,0 +1,105 @@
+"""Protocol matrix: the same workout across every configuration axis.
+
+The signature protocols claim independence from the substrate and the
+scheme parameters.  This module runs one standardized workout --
+inserts through splits, searches from a stale client, the full update
+quartet (normal/blind x true/pseudo), a conflict, a scan, deletes --
+against the cartesian product of:
+
+* file family: LH* / RP*;
+* signature scheme: GF(2^16) n=2 (paper), GF(2^8) n=3, sig' variant;
+* stored-signature mode on/off.
+"""
+
+import random
+
+import pytest
+
+from repro.sdds import LHFile, Record, RPFile, UpdateStatus
+from repro.sig import PRIMITIVE, STANDARD, make_scheme
+
+SCHEMES = {
+    "gf16-n2": dict(f=16, n=2, variant=STANDARD),
+    "gf8-n3": dict(f=8, n=3, variant=STANDARD),
+    "gf16-n2-prime": dict(f=16, n=2, variant=PRIMITIVE),
+}
+
+FILES = {
+    "lh": lambda scheme, stored: LHFile(
+        scheme, capacity_records=20, store_signatures=stored
+    ),
+    "rp": lambda scheme, stored: RPFile(
+        scheme, capacity_records=20, store_signatures=stored
+    ),
+}
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("file_kind", sorted(FILES))
+@pytest.mark.parametrize("stored", [False, True])
+def test_full_workout(scheme_name, file_kind, stored):
+    scheme = make_scheme(**SCHEMES[scheme_name])
+    file = FILES[file_kind](scheme, stored)
+    client = file.client()
+    rng = random.Random(hash((scheme_name, file_kind, stored)) & 0xFFFF)
+    keys = rng.sample(range(1_000_000), 150)
+    values = {}
+
+    # Inserts drive the file through several splits.
+    for key in keys:
+        value = bytes([key % 251]) * 64
+        assert client.insert(Record(key, value)).status == "inserted"
+        values[key] = value
+    assert file.bucket_count > 2
+    file.check_placement()
+
+    # A stale client finds everything.
+    stale = file.client("stale")
+    for key in rng.sample(keys, 40):
+        result = stale.search(key)
+        assert result.status == "found"
+        assert result.record.value == values[key]
+
+    # Update quartet.
+    key = keys[0]
+    before = values[key]
+    assert client.update_normal(key, before, before).status == \
+        UpdateStatus.PSEUDO
+    after = bytes([(before[0] + 1) % 256]) * 64
+    assert client.update_normal(key, before, after).status == \
+        UpdateStatus.APPLIED
+    values[key] = after
+    assert client.update_blind(key, after).status == UpdateStatus.PSEUDO
+    blind_after = bytes([(after[0] + 1) % 256]) * 64
+    assert client.update_blind(key, blind_after).status == \
+        UpdateStatus.APPLIED
+    values[key] = blind_after
+
+    # Conflict from a second client's stale before-image.
+    other = file.client("other")
+    second_key = keys[1]
+    other_view = other.search(second_key).record.value
+    client_view = client.search(second_key).record.value
+    assert client.update_normal(
+        second_key, client_view, b"W" * 64
+    ).status == UpdateStatus.APPLIED
+    assert other.update_normal(
+        second_key, other_view, b"L" * 64
+    ).status == UpdateStatus.CONFLICT
+    values[second_key] = b"W" * 64
+
+    # Scan finds a planted marker (length chosen valid for both fields).
+    marker_key = keys[2]
+    client.update_blind(marker_key, b"..MARKER" + b"f" * 56)
+    values[marker_key] = b"..MARKER" + b"f" * 56
+    scan = client.scan(b"MARKER")
+    assert any(record.key == marker_key for record in scan.records)
+
+    # Deletes, then final consistency sweep.
+    for key in rng.sample(keys, 30):
+        assert client.delete(key).status == "deleted"
+        del values[key]
+    file.check_placement()
+    assert file.record_count == len(values)
+    for key, value in values.items():
+        assert client.search(key).record.value == value

@@ -1,0 +1,61 @@
+"""Tests for self-describing scheme identities in persisted artifacts."""
+
+import pytest
+
+from repro.backup import BackupEngine
+from repro.errors import BackupError, SignatureError
+from repro.sig import PRIMITIVE, make_scheme
+from repro.sig.signature import SchemeId
+from repro.sim import SimDisk
+
+
+class TestSchemeIdSerialization:
+    @pytest.mark.parametrize("kwargs", [
+        dict(f=16, n=2),
+        dict(f=8, n=3),
+        dict(f=8, n=3, variant=PRIMITIVE),
+        dict(f=4, n=1),
+    ])
+    def test_roundtrip(self, kwargs):
+        scheme_id = make_scheme(**kwargs).scheme_id
+        assert SchemeId.from_bytes(scheme_id.to_bytes()) == scheme_id
+
+    def test_twisted_identity_roundtrips(self):
+        from repro.gf import GF
+        from repro.sig import log_interpretation_scheme
+
+        scheme_id = log_interpretation_scheme(GF(8), n=2).scheme_id
+        restored = SchemeId.from_bytes(scheme_id.to_bytes())
+        assert restored == scheme_id
+        assert "twisted-log" in restored.variant
+
+    def test_truncated_rejected(self):
+        raw = make_scheme(f=16, n=2).scheme_id.to_bytes()
+        for cut in (0, 3, len(raw) - 1):
+            with pytest.raises(SignatureError):
+                SchemeId.from_bytes(raw[:cut])
+
+    def test_distinct_schemes_distinct_bytes(self):
+        a = make_scheme(f=16, n=2).scheme_id.to_bytes()
+        b = make_scheme(f=8, n=2).scheme_id.to_bytes()
+        c = make_scheme(f=16, n=3).scheme_id.to_bytes()
+        assert len({a, b, c}) == 3
+
+
+class TestArchiveSchemeCheck:
+    def test_mismatched_scheme_rejected_on_import(self):
+        """An archive written under one scheme cannot silently poison an
+        engine running another: comparisons would be meaningless."""
+        writer = BackupEngine(make_scheme(f=16, n=2), SimDisk(), page_bytes=512)
+        writer.backup("vol", bytes(1024))
+        archive = writer.export_maps()
+        reader = BackupEngine(make_scheme(f=8, n=3), SimDisk(), page_bytes=128)
+        with pytest.raises(BackupError):
+            reader.import_maps(archive)
+
+    def test_matching_scheme_accepted(self):
+        writer = BackupEngine(make_scheme(f=16, n=2), SimDisk(), page_bytes=512)
+        writer.backup("vol", bytes(1024))
+        reader = BackupEngine(make_scheme(f=16, n=2), SimDisk(), page_bytes=512)
+        reader.import_maps(writer.export_maps())
+        assert reader.signature_map("vol") == writer.signature_map("vol")

@@ -1,0 +1,171 @@
+"""Tests for the in-RAM B-tree bucket index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, SDDSError
+from repro.sdds import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert 5 not in tree
+        assert tree.get(5) is None
+        assert tree.get(5, "dflt") == "dflt"
+
+    def test_insert_and_search(self):
+        tree = BTree(min_degree=2)
+        tree.insert(10, "a")
+        tree.insert(5, "b")
+        tree.insert(20, "c")
+        assert tree.search(10) == "a"
+        assert tree.search(5) == "b"
+        assert tree.search(20) == "c"
+        assert len(tree) == 3
+
+    def test_duplicate_rejected(self):
+        tree = BTree()
+        tree.insert(1, "x")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, "y")
+
+    def test_missing_search(self):
+        with pytest.raises(KeyNotFoundError):
+            BTree().search(99)
+
+    def test_replace(self):
+        tree = BTree()
+        tree.insert(1, "old")
+        tree.replace(1, "new")
+        assert tree.search(1) == "new"
+
+    def test_replace_missing(self):
+        with pytest.raises(KeyNotFoundError):
+            BTree().replace(1, "x")
+
+    def test_upsert(self):
+        tree = BTree()
+        assert tree.upsert(1, "a") is True
+        assert tree.upsert(1, "b") is False
+        assert tree.search(1) == "b"
+        assert len(tree) == 1
+
+    def test_min_degree_validation(self):
+        with pytest.raises(SDDSError):
+            BTree(min_degree=1)
+
+
+class TestDelete:
+    def test_delete_returns_value(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert len(tree) == 0
+        assert 1 not in tree
+
+    def test_delete_missing(self):
+        with pytest.raises(KeyNotFoundError):
+            BTree().delete(42)
+
+    def test_delete_all_in_order(self):
+        tree = BTree(min_degree=2)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(100):
+            assert tree.delete(key) == key
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_all_reverse(self):
+        tree = BTree(min_degree=2)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in reversed(range(100)):
+            assert tree.delete(key) == key
+        assert len(tree) == 0
+
+    def test_delete_root_collapse(self):
+        tree = BTree(min_degree=2)
+        for key in range(10):
+            tree.insert(key, key)
+        for key in range(9):
+            tree.delete(key)
+        tree.check_invariants()
+        assert list(tree.keys()) == [9]
+
+
+class TestOrderedAccess:
+    def test_items_sorted(self):
+        tree = BTree(min_degree=3)
+        keys = random.Random(1).sample(range(10000), 500)
+        for key in keys:
+            tree.insert(key, -key)
+        assert [k for k, _v in tree.items()] == sorted(keys)
+
+    def test_min_max(self):
+        tree = BTree()
+        for key in (50, 10, 90):
+            tree.insert(key, None)
+        assert tree.min_key() == 10
+        assert tree.max_key() == 90
+
+    def test_min_max_empty(self):
+        with pytest.raises(KeyNotFoundError):
+            BTree().min_key()
+        with pytest.raises(KeyNotFoundError):
+            BTree().max_key()
+
+    def test_range_items(self):
+        tree = BTree(min_degree=2)
+        for key in range(0, 100, 10):
+            tree.insert(key, key)
+        assert [k for k, _v in tree.range_items(25, 65)] == [30, 40, 50, 60]
+
+
+class TestInvariantsUnderRandomOps:
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([2, 3, 5, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_reference(self, seed, degree):
+        rng = random.Random(seed)
+        tree = BTree(min_degree=degree)
+        reference = {}
+        for step in range(400):
+            action = rng.random()
+            if action < 0.5 or not reference:
+                key = rng.randrange(1000)
+                if key in reference:
+                    tree.replace(key, step)
+                else:
+                    tree.insert(key, step)
+                reference[key] = step
+            elif action < 0.85:
+                key = rng.choice(list(reference))
+                assert tree.delete(key) == reference.pop(key)
+            else:
+                key = rng.randrange(1000)
+                assert tree.get(key) == reference.get(key)
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(reference.items())
+
+
+class TestIndexPages:
+    def test_page_size_and_content(self):
+        tree = BTree(min_degree=2)
+        for key in range(32):
+            tree.insert(key, None)
+        pages = tree.index_pages(page_bytes=128)
+        stream = b"".join(pages)
+        keys = [
+            int.from_bytes(stream[i:i + 8], "little")
+            for i in range(0, 32 * 8, 8)
+        ]
+        assert keys == list(range(32))
+        assert all(len(page) <= 128 for page in pages)
+
+    def test_empty_tree_single_page(self):
+        assert BTree().index_pages() == [b""]

@@ -1,0 +1,124 @@
+"""Tests for the signature-validated client cache (Section 6.2)."""
+
+from repro.sdds import CachedClient, LHFile, Record, UpdateStatus
+from repro.sig import make_scheme
+from repro.workloads import make_records
+
+
+def build(value_bytes=500, n_records=60, capacity=1024):
+    scheme = make_scheme(f=16, n=2)
+    file = LHFile(scheme, capacity_records=100)
+    client = file.client()
+    records = make_records(n_records, value_bytes, seed=21)
+    for record in records:
+        client.insert(record)
+    cached = CachedClient(file.client("cached"), capacity=capacity)
+    return file, cached, records
+
+
+class TestReads:
+    def test_cold_miss_then_validated_hit(self):
+        file, cached, records = build()
+        key = records[0].key
+        first = cached.get(key)
+        assert first == records[0]
+        assert cached.stats.cold_misses == 1
+        second = cached.get(key)
+        assert second == records[0]
+        assert cached.stats.validations == 1
+        assert cached.stats.hits == 1
+        assert cached.stats.refetches == 0
+
+    def test_hit_saves_record_bytes(self):
+        """A validated hit exchanges ~44 bytes instead of the record."""
+        file, cached, records = build(value_bytes=2000)
+        key = records[0].key
+        cached.get(key)
+        net_before = file.network.stats.bytes
+        cached.get(key)
+        validated_cost = file.network.stats.bytes - net_before
+        assert validated_cost < 100
+        assert cached.stats.bytes_saved == 2000
+
+    def test_stale_cache_refetched(self):
+        file, cached, records = build()
+        key = records[0].key
+        cached.get(key)
+        # Another client updates the record behind the cache's back.
+        writer = file.client("writer")
+        writer.update_blind(key, b"Z" * 500)
+        result = cached.get(key)
+        assert result.value == b"Z" * 500
+        assert cached.stats.refetches == 1
+
+    def test_deleted_record_detected(self):
+        file, cached, records = build()
+        key = records[0].key
+        cached.get(key)
+        file.client("deleter").delete(key)
+        assert cached.get(key) is None
+        assert key not in cached
+
+    def test_missing_key(self):
+        file, cached, records = build(n_records=5)
+        assert cached.get(999_999_999 % (1 << 32)) is None
+
+
+class TestWritesKeepCacheCoherent:
+    def test_insert_primes_cache(self):
+        file, cached, records = build(n_records=5)
+        record = Record(777_000, b"fresh" * 20)
+        cached.insert(record)
+        assert 777_000 in cached
+        net_before = file.network.stats.bytes
+        got = cached.get(777_000)
+        assert got == record
+        # A validated hit, not a refetch.
+        assert cached.stats.refetches == 0
+        assert file.network.stats.bytes - net_before < 100
+
+    def test_update_normal_updates_cache(self):
+        file, cached, records = build()
+        key = records[0].key
+        before = cached.get(key).value
+        result = cached.update_normal(key, before, b"N" * 500)
+        assert result.status == UpdateStatus.APPLIED
+        assert cached.get(key).value == b"N" * 500
+        assert cached.stats.refetches == 0
+
+    def test_conflicting_update_invalidates(self):
+        file, cached, records = build()
+        key = records[0].key
+        before = cached.get(key).value
+        file.client("sneaky").update_blind(key, b"S" * 500)
+        result = cached.update_normal(key, before, b"L" * 500)
+        assert result.status == UpdateStatus.CONFLICT
+        assert key not in cached  # stale entry dropped
+        assert cached.get(key).value == b"S" * 500
+
+    def test_delete_through_cache(self):
+        file, cached, records = build()
+        key = records[0].key
+        cached.get(key)
+        assert cached.delete(key).status == "deleted"
+        assert key not in cached
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        file, cached, records = build(n_records=10, capacity=3)
+        for record in records[:5]:
+            cached.get(record.key)
+        assert len(cached) == 3
+        # The three most recently used survive.
+        assert records[4].key in cached
+        assert records[0].key not in cached
+
+    def test_hit_refreshes_lru_position(self):
+        file, cached, records = build(n_records=5, capacity=2)
+        cached.get(records[0].key)
+        cached.get(records[1].key)
+        cached.get(records[0].key)  # touch 0
+        cached.get(records[2].key)  # evicts 1, not 0
+        assert records[0].key in cached
+        assert records[1].key not in cached

@@ -1,0 +1,165 @@
+"""Tests for the RP* range-partitioned SDDS."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SDDSError
+from repro.sdds import KEY_SPACE, Record, RPFile
+from repro.sig import make_scheme
+
+
+def build_file(n_records=400, capacity=25, seed=5, value_bytes=40):
+    scheme = make_scheme(f=8, n=2)
+    file = RPFile(scheme, capacity_records=capacity)
+    client = file.client()
+    keys = random.Random(seed).sample(range(1_000_000), n_records)
+    for key in keys:
+        assert client.insert(Record(key, b"v" * value_bytes)).status == "inserted"
+    return file, client, keys
+
+
+class TestGrowth:
+    def test_splits_at_median(self):
+        file, _client, keys = build_file()
+        assert file.bucket_count > 1
+        file.check_placement()
+
+    def test_intervals_partition_key_space(self):
+        file, _client, _keys = build_file()
+        intervals = sorted((s.low, s.high) for s in file.servers)
+        assert intervals[0][0] == 0
+        assert intervals[-1][1] == KEY_SPACE
+        for (l1, h1), (l2, h2) in zip(intervals, intervals[1:]):
+            assert h1 == l2
+
+    def test_order_preserved_within_buckets(self):
+        """RP* keeps records ordered: bucket ranges are disjoint and
+        sorted iteration within each bucket is by key."""
+        file, _client, _keys = build_file()
+        for server in file.servers:
+            keys = list(server.bucket.keys())
+            assert keys == sorted(keys)
+
+    def test_capacity_respected_after_splits(self):
+        file, _client, _keys = build_file(n_records=600, capacity=20)
+        for server in file.servers:
+            assert len(server.bucket) <= 20
+
+    def test_records_preserved(self):
+        file, _client, keys = build_file()
+        stored = sorted(
+            key for server in file.servers for key in server.bucket.keys()
+        )
+        assert stored == sorted(keys)
+
+
+class TestRouting:
+    def test_all_keys_found(self):
+        file, client, keys = build_file()
+        for key in keys:
+            result = client.search(key)
+            assert result.status == "found"
+            assert result.record.key == key
+
+    def test_stale_client_converges(self):
+        file, _client, keys = build_file()
+        stale = file.client("stale")
+        for key in keys:
+            assert stale.search(key).status == "found"
+        second_pass = sum(stale.search(key).forwards for key in keys)
+        assert second_pass == 0
+
+    def test_image_entries_grow_monotonically(self):
+        file, _client, keys = build_file()
+        stale = file.client("stale")
+        for key in keys[:50]:
+            stale.search(key)
+        assert len(stale.image) >= 1
+        assert 0 in stale.image  # the root entry always remains
+
+    def test_missing_key(self):
+        file, client, keys = build_file(n_records=50)
+        missing = max(keys) + 1
+        assert client.search(missing).status == "missing"
+
+    def test_delete(self):
+        file, client, keys = build_file(n_records=50)
+        assert client.delete(keys[0]).status == "deleted"
+        assert client.search(keys[0]).status == "missing"
+        file.check_placement()
+
+
+class TestSplitMechanics:
+    def test_split_hints_route_forward(self):
+        file, _client, _keys = build_file()
+        bucket0 = file.server(0)
+        if bucket0.split_hints:
+            boundary, target = bucket0.split_hints[-1]
+            assert bucket0.forward_target(boundary) == target
+
+    def test_own_key_not_forwarded(self):
+        file, _client, _keys = build_file()
+        for server in file.servers:
+            for key in list(server.bucket.keys())[:5]:
+                assert server.forward_target(key) is None
+
+    def test_key_below_range_rejected(self):
+        file, _client, _keys = build_file()
+        highest = max(file.servers, key=lambda s: s.low)
+        if highest.low > 0:
+            with pytest.raises(SDDSError):
+                highest.forward_target(highest.low - 1)
+
+    def test_degenerate_split_rejected(self):
+        """A median equal to the interval's low bound cannot split."""
+        scheme = make_scheme(f=8, n=2)
+        file = RPFile(scheme, capacity_records=2)
+        server = file.server(0)
+        server.bucket.insert(Record(0, b"a"))
+        with pytest.raises(SDDSError):
+            file.split(server)
+
+
+class TestUpdatesOverRP:
+    def test_update_protocol_works(self):
+        from repro.sdds import UpdateStatus
+
+        file, client, keys = build_file(n_records=100)
+        key = keys[0]
+        before = client.search(key).record.value
+        result = client.update_normal(key, before, before)
+        assert result.status == UpdateStatus.PSEUDO
+        assert result.bytes == 0
+        result = client.update_normal(key, before, b"x" * len(before))
+        assert result.status == UpdateStatus.APPLIED
+        assert client.search(key).record.value == b"x" * len(before)
+
+    def test_scan_over_rp(self):
+        file, client, keys = build_file(n_records=100)
+        client.update_blind(keys[7], b"..FINDME.." + b"p" * 30)
+        result = client.scan(b"FINDME")
+        assert any(record.key == keys[7] for record in result.records)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_random_workload_placement(self, seed):
+        rng = random.Random(seed)
+        scheme = make_scheme(f=8, n=2)
+        file = RPFile(scheme, capacity_records=10)
+        client = file.client()
+        live = set()
+        for _step in range(200):
+            if rng.random() < 0.7 or not live:
+                key = rng.randrange(1_000_000)
+                if client.insert(Record(key, b"v")).status == "inserted":
+                    live.add(key)
+            else:
+                key = rng.choice(list(live))
+                client.delete(key)
+                live.discard(key)
+        file.check_placement()
+        for key in live:
+            assert client.search(key).status == "found"

@@ -1,0 +1,124 @@
+"""Tests for the distributed scan (Section 2.3) over the SDDS."""
+
+import random
+
+import pytest
+
+from repro.errors import SDDSError
+from repro.sdds import LHFile, Record
+from repro.sdds.messages import SCAN_REQUEST
+from repro.sig import make_scheme
+
+
+def build_file(scheme=None, n_records=150, value_bytes=60, seed=4):
+    scheme = scheme if scheme is not None else make_scheme(f=16, n=2)
+    file = LHFile(scheme, capacity_records=40)
+    client = file.client()
+    rng = random.Random(seed)
+    keys = rng.sample(range(1_000_000), n_records)
+    for key in keys:
+        payload = bytes(rng.randrange(ord("a"), ord("z") + 1)
+                        for _ in range(value_bytes))
+        client.insert(Record(key, payload))
+    return file, client, keys
+
+
+class TestScanGF16:
+    """The paper's configuration: 2 B symbols over 1 B ASCII records --
+    exercising the alignment handling of Section 5.2."""
+
+    def test_finds_planted_string_even_offset(self):
+        file, client, keys = build_file()
+        client.update_blind(keys[3], b"ABCDEF" + b"x" * 54)
+        result = client.scan(b"ABCDEF")
+        assert any(r.key == keys[3] for r in result.records)
+
+    def test_finds_planted_string_odd_offset(self):
+        file, client, keys = build_file()
+        client.update_blind(keys[3], b"z" + b"ABCDEF" + b"x" * 53)
+        result = client.scan(b"ABCDEF")
+        assert any(r.key == keys[3] for r in result.records)
+
+    def test_finds_odd_length_pattern(self):
+        """3-byte needle, like the paper's experiment."""
+        file, client, keys = build_file()
+        client.update_blind(keys[5], b"xxQRZxx" + b"y" * 53)
+        result = client.scan(b"QRZ")
+        assert any(r.key == keys[5] for r in result.records)
+
+    def test_no_false_positives_in_results(self):
+        """Las Vegas: the client filters, so every returned record truly
+        contains the pattern."""
+        file, client, keys = build_file()
+        client.update_blind(keys[0], b"NEEDLE" + b"a" * 54)
+        result = client.scan(b"NEEDLE")
+        for record in result.records:
+            assert b"NEEDLE" in record.value
+
+    def test_matches_exhaustive_scan(self):
+        file, client, keys = build_file()
+        needle = b"th"
+        expected = sorted(
+            record.key
+            for server in file.servers
+            for record in server.bucket.records()
+            if needle in record.value
+        )
+        result = client.scan(needle)
+        assert [r.key for r in result.records] == expected
+
+    def test_request_carries_signature_not_pattern(self):
+        """The scan request payload is constant-size regardless of the
+        pattern length: the client ships length + signature only."""
+        file, client, keys = build_file()
+        client.update_blind(keys[0], b"A" * 60)
+        net = file.network
+
+        def request_bytes(pattern):
+            before = {k: v for k, v in net.stats.by_kind.items()}
+            net_bytes_before = net.stats.bytes
+            client.scan(pattern)
+            return net.stats.bytes - net_bytes_before, \
+                net.stats.by_kind[SCAN_REQUEST] - before.get(SCAN_REQUEST, 0)
+
+        _, short_requests = request_bytes(b"ABABABAB")
+        _, long_requests = request_bytes(b"ABABABABABABABABABABABAB")
+        assert short_requests == long_requests == file.bucket_count
+
+    def test_single_byte_pattern_rejected_for_gf16(self):
+        file, client, _keys = build_file()
+        with pytest.raises(SDDSError):
+            client.scan(b"A")
+
+    def test_empty_pattern_rejected(self):
+        file, client, _keys = build_file()
+        with pytest.raises(SDDSError):
+            client.scan(b"")
+
+
+class TestScanGF8:
+    def test_single_alignment_suffices(self):
+        file, client, keys = build_file(scheme=make_scheme(f=8, n=2))
+        client.update_blind(keys[2], b"q" + b"PATTERN" + b"r" * 52)
+        result = client.scan(b"PATTERN")
+        assert any(r.key == keys[2] for r in result.records)
+
+    def test_single_byte_pattern_allowed(self):
+        file, client, keys = build_file(scheme=make_scheme(f=8, n=2))
+        client.update_blind(keys[0], b"#" + b"z" * 59)
+        result = client.scan(b"#")
+        assert any(r.key == keys[0] for r in result.records)
+
+
+class TestScanAcrossSplits:
+    def test_scan_covers_all_buckets(self):
+        """Records end up spread over many buckets; the scan must reach
+        every one (the client broadcasts to all servers)."""
+        file, client, keys = build_file(n_records=300)
+        assert file.bucket_count > 2
+        rng = random.Random(9)
+        planted = rng.sample(keys, 10)
+        for key in planted:
+            client.update_blind(key, b"ZZTOKENZZ" + b"f" * 51)
+        result = client.scan(b"ZZTOKENZZ")
+        assert sorted(r.key for r in result.records) == sorted(planted)

@@ -1,0 +1,185 @@
+"""Tests for the Section 2.2 update protocol over the SDDS (client side)."""
+
+import random
+
+from repro.sdds import LHFile, Record, UpdateOutcome, UpdateStatus
+from repro.sdds.messages import UPDATE
+from repro.sig import make_scheme
+
+
+def build_file(store_signatures=False, n_records=120, value_bytes=100, seed=2):
+    scheme = make_scheme(f=16, n=2)
+    file = LHFile(scheme, capacity_records=50,
+                  store_signatures=store_signatures)
+    client = file.client()
+    keys = random.Random(seed).sample(range(1_000_000), n_records)
+    for key in keys:
+        client.insert(Record(key, bytes([key % 256]) * value_bytes))
+    return file, client, keys
+
+
+class TestNormalUpdates:
+    def test_pseudo_update_zero_traffic(self):
+        """'Such updates terminate at the client' -- zero messages."""
+        file, client, keys = build_file()
+        value = client.search(keys[0]).record.value
+        net_before = file.network.stats.messages
+        result = client.update_normal(keys[0], value, value)
+        assert result.status == UpdateStatus.PSEUDO
+        assert file.network.stats.messages == net_before
+        assert result.messages == 0
+        assert result.bytes == 0
+
+    def test_true_update_applied(self):
+        file, client, keys = build_file()
+        value = client.search(keys[0]).record.value
+        new_value = b"N" * len(value)
+        result = client.update_normal(keys[0], value, new_value)
+        assert result.status == UpdateStatus.APPLIED
+        assert client.search(keys[0]).record.value == new_value
+
+    def test_true_update_ships_sb_not_rb(self):
+        """The update message carries the after-image plus a 4 B
+        signature -- never the before-image."""
+        file, client, keys = build_file()
+        value = client.search(keys[0]).record.value
+        net_before = file.network.stats.bytes
+        client.update_normal(keys[0], value, b"M" * len(value))
+        shipped = file.network.stats.bytes - net_before
+        # After-image + signature + header + ack: far below 2x record size.
+        assert shipped < 2 * len(value)
+
+    def test_conflict_detected_and_rolled_back(self):
+        """Two clients read the same record; the slower commit rolls
+        back instead of overriding (no lost updates)."""
+        file, fast, keys = build_file()
+        slow = file.client("slow")
+        key = keys[0]
+        before_fast = fast.search(key).record.value
+        before_slow = slow.search(key).record.value
+        assert before_fast == before_slow
+        assert fast.update_normal(
+            key, before_fast, b"F" * len(before_fast)
+        ).status == UpdateStatus.APPLIED
+        result = slow.update_normal(key, before_slow, b"S" * len(before_slow))
+        assert result.status == UpdateStatus.CONFLICT
+        # The fast client's update survived.
+        assert fast.search(key).record.value == b"F" * len(before_fast)
+
+    def test_redo_after_conflict_succeeds(self):
+        """The paper: 'The application may read R again and redo the
+        update.'"""
+        file, a, keys = build_file()
+        b = file.client("b")
+        key = keys[0]
+        value = a.search(key).record.value
+        b_value = b.search(key).record.value
+        a.update_normal(key, value, b"A" * len(value))
+        assert b.update_normal(key, b_value, b"B" * len(value)).status == \
+            UpdateStatus.CONFLICT
+        fresh = b.search(key).record.value
+        assert b.update_normal(key, fresh, b"B" * len(value)).status == \
+            UpdateStatus.APPLIED
+
+    def test_missing_record(self):
+        file, client, keys = build_file(n_records=10)
+        result = client.update_normal(999_999_999 % (1 << 32), b"x", b"y")
+        assert result.status == UpdateStatus.MISSING
+
+
+class TestBlindUpdates:
+    def test_pseudo_blind_ships_only_signatures(self):
+        """A blind pseudo-update exchanges key + 4 B signature -- the
+        multi-MB surveillance image never crosses the network."""
+        file, client, keys = build_file(value_bytes=1000)
+        current = client.search(keys[0]).record.value
+        net_before = file.network.stats.bytes
+        result = client.update_blind(keys[0], current)
+        shipped = file.network.stats.bytes - net_before
+        assert result.status == UpdateStatus.PSEUDO
+        assert shipped < 100  # headers + key + one 4 B signature
+
+    def test_true_blind_update_applied(self):
+        file, client, keys = build_file()
+        new_value = b"Z" * 100
+        result = client.update_blind(keys[0], new_value)
+        assert result.status == UpdateStatus.APPLIED
+        assert client.search(keys[0]).record.value == new_value
+
+    def test_blind_update_missing_key(self):
+        file, client, _keys = build_file(n_records=10)
+        result = client.update_blind(123_456_789, b"x")
+        assert result.status == UpdateStatus.MISSING
+
+    def test_blind_conflict_window(self):
+        """A concurrent update between the signature fetch and the
+        conditional write is caught by the server-side re-check."""
+        file, client, keys = build_file()
+        key = keys[0]
+        server, _ = client._locate(key, "probe", 0)
+        current = client.search(key).record.value
+        new_value = b"Q" * len(current)
+        sig_now = server.record_signature(key)
+        # Interleave: another writer changes the record first.
+        server.conditional_update(key, b"I" * len(current), sig_now)
+        outcome = server.conditional_update(key, new_value, sig_now)
+        assert outcome is UpdateOutcome.CONFLICT
+
+
+class TestStoredSignatureVariant:
+    def test_signatures_stored_on_insert(self):
+        file, client, keys = build_file(store_signatures=True)
+        server, _ = client._locate(keys[0], "probe", 0)
+        assert keys[0] in server._stored_sigs
+
+    def test_server_skips_computation_on_sig_request(self):
+        """'The server simply extracts S from R, instead of dynamically
+        calculating it.'"""
+        file, client, keys = build_file(store_signatures=True)
+        server, _ = client._locate(keys[0], "probe", 0)
+        computations_before = server.stats.sig_computations
+        client.update_blind(keys[0], client.search(keys[0]).record.value)
+        assert server.stats.sig_computations == computations_before
+
+    def test_stored_signature_stays_current(self):
+        file, client, keys = build_file(store_signatures=True)
+        new_value = b"W" * 100
+        client.update_blind(keys[0], new_value)
+        server, _ = client._locate(keys[0], "probe", 0)
+        assert server._stored_sigs[keys[0]] == \
+            file.scheme.sign(new_value, strict=False)
+
+    def test_stored_signatures_move_on_split(self):
+        scheme = make_scheme(f=16, n=2)
+        file = LHFile(scheme, capacity_records=10, store_signatures=True)
+        client = file.client()
+        keys = random.Random(1).sample(range(100_000), 100)
+        for key in keys:
+            client.insert(Record(key, bytes([key % 256]) * 50))
+        assert file.bucket_count > 1
+        for key in keys:
+            server, _ = client._locate(key, "probe", 0)
+            assert server._stored_sigs.get(key) == \
+                file.scheme.sign(server.search(key).value, strict=False)
+
+    def test_storage_overhead_is_4_bytes(self):
+        file, _client, _keys = build_file(store_signatures=True)
+        assert file.scheme.signature_bytes == 4
+
+
+class TestServerStats:
+    def test_counters_track_outcomes(self):
+        file, client, keys = build_file()
+        value = client.search(keys[0]).record.value
+        client.update_normal(keys[0], value, b"1" * len(value))
+        client.update_normal(keys[0], value, b"2" * len(value))  # stale: conflict
+        applied = sum(s.stats.updates_applied for s in file.servers)
+        rejected = sum(s.stats.updates_rejected for s in file.servers)
+        assert applied == 1
+        assert rejected == 1
+
+    def test_update_message_kind_accounted(self):
+        file, client, keys = build_file()
+        value = client.search(keys[0]).record.value
+        client.update_normal(keys[0], value, b"3" * len(value))
+        assert file.network.stats.by_kind[UPDATE] == 1

@@ -1,0 +1,92 @@
+"""Tests for the single-buffer search harness (E7 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SDDSError
+from repro.search import (
+    build_record_field,
+    scan_naive,
+    scan_with_karp_rabin,
+    scan_with_signatures,
+    scan_with_xor,
+)
+from repro.sig import make_scheme
+
+
+class TestWorkloadBuilder:
+    def test_paper_shape(self):
+        """8000 records, 60 B fields, needle in the third-last record."""
+        fields = build_record_field(8000, 60, b"xyz", 7997)
+        assert len(fields) == 8000
+        assert all(len(field) == 60 for field in fields)
+        assert fields[7997].startswith(b"xyz")
+
+    def test_deterministic(self):
+        a = build_record_field(100, 60, b"ab", 50, seed=1)
+        b = build_record_field(100, 60, b"ab", 50, seed=1)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(SDDSError):
+            build_record_field(10, 60, b"x", 10)
+        with pytest.raises(SDDSError):
+            build_record_field(10, 4, b"toolong", 0)
+
+
+class TestScanners:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_record_field(500, 60, b"ZQX", 497, seed=2)
+
+    def test_signature_scan_gf16(self, workload):
+        scheme = make_scheme(f=16, n=2)
+        result = scan_with_signatures(scheme, workload, b"ZQX")
+        assert 497 in result.record_indices
+
+    def test_signature_scan_gf8(self, workload):
+        scheme = make_scheme(f=8, n=2)
+        result = scan_with_signatures(scheme, workload, b"ZQX")
+        assert 497 in result.record_indices
+
+    def test_all_scanners_agree(self, workload):
+        scheme = make_scheme(f=16, n=2)
+        truth = scan_naive(workload, b"ZQX").record_indices
+        assert scan_with_signatures(scheme, workload, b"ZQX").record_indices == truth
+        assert scan_with_xor(workload, b"ZQX").record_indices == truth
+        assert scan_with_karp_rabin(workload, b"ZQX").record_indices == truth
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_agreement_on_random_needles(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        fields = build_record_field(80, 40, b"ab", 0, seed=seed)
+        donor = fields[int(rng.integers(0, 80))]
+        start = int(rng.integers(0, 36))
+        needle = donor[start:start + 4]
+        scheme = make_scheme(f=16, n=2)
+        truth = scan_naive(fields, needle).record_indices
+        assert scan_with_signatures(scheme, fields, needle).record_indices == truth
+        assert scan_with_xor(fields, needle).record_indices == truth
+
+    def test_xor_scan_has_more_candidates(self):
+        """The XOR fold carries no positional information, so its
+        candidate count is at least that of the algebraic scan."""
+        fields = build_record_field(300, 60, b"ZQX", 1, seed=3)
+        scheme = make_scheme(f=16, n=2)
+        algebraic = scan_with_signatures(scheme, fields, b"ZQX")
+        xor = scan_with_xor(fields, b"ZQX")
+        assert xor.candidates >= algebraic.verified
+
+    def test_empty_needle_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        with pytest.raises(SDDSError):
+            scan_with_signatures(scheme, [b"abc"], b"")
+
+    def test_short_needle_rejected_gf16(self):
+        scheme = make_scheme(f=16, n=2)
+        with pytest.raises(SDDSError):
+            scan_with_signatures(scheme, [b"abc"], b"a")

@@ -1,0 +1,140 @@
+"""Cross-cutting algebra tests: twisted schemes, small fields, compositions.
+
+The Propositions compose: a shift of a concat of a delta-update must
+still predict the from-scratch signature.  These tests exercise such
+compositions, plus the algebra over twisted schemes (Proposition 6 says
+everything carries over) and over non-byte fields.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+from repro.sig import (
+    SignatureMap,
+    SignatureTree,
+    apply_update,
+    concat,
+    concat_all,
+    delta_signature,
+    log_interpretation_scheme,
+    make_scheme,
+    shift,
+)
+
+
+class TestCompositions:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_update_then_concat(self, seed):
+        """sig(P1'|P2) from sig(P1), the delta, and sig(P2)."""
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(seed)
+        p1 = rng.integers(0, 256, 40).astype(np.int64)
+        p2 = rng.integers(0, 256, 30).astype(np.int64)
+        new_region = rng.integers(0, 256, 5).astype(np.int64)
+        p1_updated = p1.copy()
+        p1_updated[10:15] = new_region
+        sig_p1_updated = apply_update(
+            scheme, scheme.sign(p1), p1[10:15], new_region, 10
+        )
+        combined = concat(scheme, sig_p1_updated, 40, scheme.sign(p2))
+        assert combined == scheme.sign(np.concatenate([p1_updated, p2]))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_concat_then_update_across_boundary(self, seed):
+        """A delta applied to the concatenation, positioned inside P2."""
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(seed)
+        p1 = rng.integers(0, 256, 20).astype(np.int64)
+        p2 = rng.integers(0, 256, 20).astype(np.int64)
+        whole_sig = concat(scheme, scheme.sign(p1), 20, scheme.sign(p2))
+        whole = np.concatenate([p1, p2])
+        new_region = rng.integers(0, 256, 4).astype(np.int64)
+        updated = whole.copy()
+        updated[25:29] = new_region
+        assert apply_update(
+            scheme, whole_sig, whole[25:29], new_region, 25
+        ) == scheme.sign(updated)
+
+    def test_shift_distributes_over_xor(self, rng):
+        scheme = make_scheme(f=8, n=2)
+        a = scheme.sign(rng.integers(0, 256, 20).astype(np.int64))
+        b = scheme.sign(rng.integers(0, 256, 20).astype(np.int64))
+        assert shift(scheme, a ^ b, 7) == shift(scheme, a, 7) ^ shift(scheme, b, 7)
+
+    def test_shift_composes_additively(self, rng):
+        scheme = make_scheme(f=8, n=2)
+        sig = scheme.sign(rng.integers(0, 256, 20).astype(np.int64))
+        assert shift(scheme, shift(scheme, sig, 3), 4) == shift(scheme, sig, 7)
+
+    def test_delta_of_delta_cancels(self, rng):
+        scheme = make_scheme(f=8, n=2)
+        before = rng.integers(0, 256, 10).astype(np.int64)
+        after = rng.integers(0, 256, 10).astype(np.int64)
+        forward = delta_signature(scheme, before, after)
+        backward = delta_signature(scheme, after, before)
+        assert forward == backward  # characteristic 2
+        assert (forward ^ backward).is_zero
+
+
+class TestTwistedAlgebra:
+    """Proposition 6: the full algebra works on twisted schemes."""
+
+    @pytest.fixture(scope="class")
+    def twisted(self):
+        return log_interpretation_scheme(GF(8), n=2)
+
+    def test_prop3_on_twisted(self, twisted, rng):
+        page = rng.integers(0, 256, 50).astype(np.int64)
+        new_region = rng.integers(0, 256, 6).astype(np.int64)
+        updated = page.copy()
+        updated[20:26] = new_region
+        assert apply_update(
+            twisted, twisted.sign(page), page[20:26], new_region, 20
+        ) == twisted.sign(updated)
+
+    def test_compound_map_on_twisted(self, twisted, rng):
+        data = rng.integers(0, 256, 1000).astype(np.int64)
+        map_a = SignatureMap.compute(twisted, data, 100)
+        changed = data.copy()
+        changed[550] ^= 3
+        map_b = SignatureMap.compute(twisted, changed, 100)
+        assert map_a.changed_pages(map_b) == [5]
+
+    def test_tree_on_twisted(self, twisted, rng):
+        data = rng.integers(0, 256, 800).astype(np.int64)
+        smap = SignatureMap.compute(twisted, data, 50)
+        tree = SignatureTree.from_map(smap, fanout=4)
+        assert tree.root.signature == twisted.sign(data, strict=False)
+
+
+class TestSmallFieldIntegration:
+    """The full stack over GF(2^4): the experiment field behaves."""
+
+    def test_map_and_tree_in_gf4(self):
+        scheme = make_scheme(f=4, n=2)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 16, 70).astype(np.int64)
+        smap = SignatureMap.compute(scheme, data, 10)
+        assert smap.page_count == 7
+        tree = SignatureTree.from_map(smap, fanout=3)
+        assert tree.root.signature == scheme.sign(data, strict=False)
+
+    def test_concat_all_in_gf4(self):
+        scheme = make_scheme(f=4, n=2)
+        rng = np.random.default_rng(2)
+        parts = [rng.integers(0, 16, 5).astype(np.int64) for _ in range(4)]
+        sig, total = concat_all(
+            scheme, [(scheme.sign(p), p.size) for p in parts]
+        )
+        assert total == 20
+        assert sig == scheme.sign(np.concatenate(parts), strict=False)
+
+    def test_serialization_width_gf4(self):
+        scheme = make_scheme(f=4, n=2)
+        sig = scheme.sign(np.array([1, 2, 3]))
+        assert len(sig.to_bytes()) == 2  # two 4-bit symbols, 1 byte each

@@ -1,0 +1,226 @@
+"""Tests for signature maps (compound signatures) and signature trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignatureError
+from repro.sig import (
+    SignatureMap,
+    SignatureTree,
+    concat_all,
+    make_scheme,
+    slice_pages,
+)
+
+
+class TestSlicePages:
+    def test_even_slicing(self, scheme8):
+        pages = list(slice_pages(scheme8, bytes(100), 25))
+        assert [p.length for p in pages] == [25, 25, 25, 25]
+        assert [p.offset for p in pages] == [0, 25, 50, 75]
+
+    def test_ragged_tail(self, scheme8):
+        pages = list(slice_pages(scheme8, bytes(103), 25))
+        assert pages[-1].length == 3
+
+    def test_bad_page_size(self, scheme8):
+        with pytest.raises(SignatureError):
+            list(slice_pages(scheme8, bytes(10), 0))
+
+    def test_page_size_beyond_bound(self, scheme8):
+        with pytest.raises(SignatureError):
+            list(slice_pages(scheme8, bytes(10), scheme8.max_page_symbols + 1))
+
+
+class TestSignatureMap:
+    def test_page_count(self, scheme16):
+        smap = SignatureMap.compute(scheme16, bytes(16 * 1024), 512)
+        assert smap.page_count == 16  # 8192 symbols / 512
+
+    def test_no_changes(self, scheme16, rng):
+        data = rng.integers(0, 256, 8192, dtype=np.uint8).tobytes()
+        a = SignatureMap.compute(scheme16, data, 256)
+        b = SignatureMap.compute(scheme16, data, 256)
+        assert a.changed_pages(b) == []
+        assert a == b
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 8191))
+    @settings(max_examples=60)
+    def test_single_byte_change_localized(self, seed, position):
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(seed)
+        data = bytearray(rng.integers(0, 256, 8192, dtype=np.uint8).tobytes())
+        before = SignatureMap.compute(scheme, bytes(data), 128)
+        data[position] ^= 0x5A
+        after = SignatureMap.compute(scheme, bytes(data), 128)
+        assert before.changed_pages(after) == [position // 128]
+
+    def test_length_change_reports_tail_pages(self, scheme8):
+        a = SignatureMap.compute(scheme8, bytes(1000), 100)
+        b = SignatureMap.compute(scheme8, bytes(1300), 100)
+        assert a.changed_pages(b) == [10, 11, 12]
+
+    def test_different_page_sizes_incomparable(self, scheme8):
+        a = SignatureMap.compute(scheme8, bytes(1000), 100)
+        b = SignatureMap.compute(scheme8, bytes(1000), 200)
+        with pytest.raises(SignatureError):
+            a.changed_pages(b)
+
+    def test_different_schemes_incomparable(self, scheme8, scheme16):
+        a = SignatureMap.compute(scheme8, bytes(1000), 100)
+        b = SignatureMap.compute(scheme16, bytes(1000), 100)
+        with pytest.raises(SignatureError):
+            a.changed_pages(b)
+
+    def test_update_page(self, scheme8, rng):
+        data = bytearray(rng.integers(0, 256, 1000, dtype=np.uint8).tobytes())
+        smap = SignatureMap.compute(scheme8, bytes(data), 100)
+        data[250] ^= 1
+        smap.update_page(2, bytes(data[200:300]))
+        fresh = SignatureMap.compute(scheme8, bytes(data), 100)
+        assert smap.changed_pages(fresh) == []
+
+    def test_update_page_out_of_range(self, scheme8):
+        smap = SignatureMap.compute(scheme8, bytes(100), 50)
+        with pytest.raises(SignatureError):
+            smap.update_page(5, b"x" * 50)
+
+    def test_serialization_roundtrip(self, scheme16, rng):
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        smap = SignatureMap.compute(scheme16, data, 256)
+        restored = SignatureMap.from_bytes(smap.to_bytes(), scheme16)
+        assert restored == smap
+        assert restored.total_symbols == smap.total_symbols
+
+    def test_truncated_serialization_rejected(self, scheme16):
+        smap = SignatureMap.compute(scheme16, bytes(1024), 256)
+        with pytest.raises(SignatureError):
+            SignatureMap.from_bytes(smap.to_bytes()[:-1], scheme16)
+
+    def test_map_overhead_matches_paper(self, scheme16):
+        """4 B per 16 KB page: 256 B of map per MB of bucket."""
+        smap = SignatureMap.compute(scheme16, bytes(1 << 20), (16 * 1024) // 2)
+        assert smap.map_bytes == 256
+
+
+class TestSignatureTree:
+    def build(self, scheme, data, page_symbols=64, fanout=4):
+        smap = SignatureMap.compute(scheme, data, page_symbols)
+        return smap, SignatureTree.from_map(smap, fanout)
+
+    def test_root_equals_flat_signature(self, scheme8, rng):
+        data = rng.integers(0, 256, 4000, dtype=np.uint8).tobytes()
+        smap, tree = self.build(scheme8, data)
+        flat, total = concat_all(
+            scheme8,
+            [(sig, length) for sig, length in zip(
+                smap.signatures,
+                [64] * (smap.page_count - 1) + [4000 - 64 * (smap.page_count - 1)],
+            )],
+        )
+        assert tree.root.signature == flat
+        assert tree.root.symbols == 4000
+
+    def test_root_equals_whole_buffer_signature(self, scheme16, rng):
+        """The strongest tree invariant: the algebraic root equals the
+        signature computed directly over all the bytes."""
+        data = rng.integers(0, 256, 9000, dtype=np.uint8).tobytes()
+        smap, tree = self.build(scheme16, data, page_symbols=128, fanout=3)
+        assert tree.root.signature == scheme16.sign(data, strict=False)
+
+    def test_identical_trees_diff_empty(self, scheme8, rng):
+        data = rng.integers(0, 256, 4000, dtype=np.uint8).tobytes()
+        _, t1 = self.build(scheme8, data)
+        _, t2 = self.build(scheme8, data)
+        diff = t1.diff(t2)
+        assert diff.changed_leaves == []
+        assert diff.nodes_compared == 1  # only the root was examined
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 5))
+    @settings(max_examples=40)
+    def test_diff_localizes_changes(self, seed, n_changes):
+        """Uses the paper's GF(2^16) configuration: with GF(2^8), several
+        page deltas under one ancestor can cancel at that internal node
+        with probability 2^-16 per node (a hypothesis run actually found
+        one) -- see the caveat in repro.sig.tree."""
+        scheme = make_scheme(f=16, n=2)
+        rng = np.random.default_rng(seed)
+        data = bytearray(rng.integers(0, 256, 8192, dtype=np.uint8).tobytes())
+        _, t1 = self.build(scheme, bytes(data), page_symbols=128, fanout=4)
+        positions = rng.choice(8192, size=n_changes, replace=False)
+        for position in positions:
+            data[position] ^= 0xFF
+        _, t2 = self.build(scheme, bytes(data), page_symbols=128, fanout=4)
+        expected = sorted({int(p) // 256 for p in positions})
+        assert t1.diff(t2).changed_leaves == expected
+
+    def test_gf8_internal_cancellation_exists(self):
+        """The documented caveat, pinned: the hypothesis-found GF(2^8)
+        example where two page deltas cancel at their common ancestor,
+        hiding pages 3 and 13 from the tree while the flat map sees
+        all three changes."""
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(38159)
+        data = bytearray(rng.integers(0, 256, 8192, dtype=np.uint8).tobytes())
+        map1 = SignatureMap.compute(scheme, bytes(data), 128)
+        t1 = SignatureTree.from_map(map1, fanout=4)
+        positions = rng.choice(8192, size=3, replace=False)
+        for position in positions:
+            data[position] ^= 0xFF
+        map2 = SignatureMap.compute(scheme, bytes(data), 128)
+        t2 = SignatureTree.from_map(map2, fanout=4)
+        expected = sorted({int(p) // 128 for p in positions})
+        # The flat map keeps per-page certainty (Proposition 1)...
+        assert map1.changed_pages(map2) == expected
+        # ...while the tree missed the ancestor-cancelled pair.
+        assert t1.diff(t2).changed_leaves == [54]
+        assert expected == [3, 13, 54]
+
+    def test_diff_visits_fewer_nodes_than_flat(self, scheme8, rng):
+        """One changed page in a 256-page map: the tree looks at
+        O(fanout * height) nodes, far fewer than 256."""
+        data = bytearray(rng.integers(0, 256, 16384, dtype=np.uint8).tobytes())
+        _, t1 = self.build(scheme8, bytes(data), page_symbols=64, fanout=4)
+        data[5000] ^= 1
+        _, t2 = self.build(scheme8, bytes(data), page_symbols=64, fanout=4)
+        diff = t1.diff(t2)
+        assert diff.changed_leaves == [5000 // 64]
+        assert diff.nodes_compared < 64  # vs 256 leaf comparisons flat
+
+    def test_update_leaf_maintains_root(self, scheme8, rng):
+        data = bytearray(rng.integers(0, 256, 4096, dtype=np.uint8).tobytes())
+        smap, tree = self.build(scheme8, bytes(data), page_symbols=64, fanout=4)
+        data[130] ^= 7
+        new_leaf_sig = scheme8.sign(bytes(data[128:192]))
+        tree.update_leaf(130 // 64, new_leaf_sig)
+        assert tree.root.signature == scheme8.sign(bytes(data), strict=False)
+
+    def test_update_leaf_out_of_range(self, scheme8):
+        _, tree = self.build(scheme8, bytes(1024))
+        with pytest.raises(SignatureError):
+            tree.update_leaf(1000, scheme8.zero)
+
+    def test_incomparable_trees(self, scheme8, rng):
+        data = rng.integers(0, 256, 2048, dtype=np.uint8).tobytes()
+        _, t1 = self.build(scheme8, data, fanout=4)
+        _, t2 = self.build(scheme8, data, fanout=8)
+        with pytest.raises(SignatureError):
+            t1.diff(t2)
+
+    def test_three_level_tree_like_figure3(self, scheme8, rng):
+        """Figure 3 shows 3 levels of signatures; 16 leaves, fanout 4."""
+        data = rng.integers(0, 256, 16 * 64, dtype=np.uint8).tobytes()
+        _, tree = self.build(scheme8, data, page_symbols=64, fanout=4)
+        assert tree.height == 3
+        assert tree.leaf_count == 16
+        assert len(tree.levels[1]) == 4
+
+    def test_empty_tree_rejected(self, scheme8):
+        with pytest.raises(SignatureError):
+            SignatureTree.from_leaves(scheme8, [], fanout=4)
+
+    def test_bad_fanout_rejected(self, scheme8):
+        with pytest.raises(SignatureError):
+            SignatureTree.from_leaves(scheme8, [(scheme8.zero, 1)], fanout=1)

@@ -1,0 +1,104 @@
+"""Tests for the chunked and paired-table fast signing paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignatureError
+from repro.sig import ChunkedSigner, PairedTableSigner, make_scheme
+
+
+class TestChunkedSigner:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 5000),
+           st.integers(1, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_equals_reference_signature(self, seed, size, chunk):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=chunk)
+        rng = np.random.default_rng(seed)
+        page = rng.integers(0, 1 << 16, size).astype(np.int64)
+        assert signer.sign(page) == scheme.sign(page, strict=False)
+
+    def test_empty_page(self):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=100)
+        assert signer.sign(np.zeros(0, dtype=np.int64)) == scheme.zero
+
+    def test_signs_beyond_single_page_bound(self):
+        """Chunking lets one logical signature cover data longer than
+        the single-page certainty bound (Section 4.2 compounding)."""
+        scheme = make_scheme(f=8, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=200)
+        rng = np.random.default_rng(1)
+        long_page = rng.integers(0, 256, 2000).astype(np.int64)  # > 254
+        assert signer.sign(long_page) == scheme.sign(long_page, strict=False)
+
+    def test_resign_one_chunk(self):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=500)
+        rng = np.random.default_rng(2)
+        page = rng.integers(0, 1 << 16, 2200).astype(np.int64)
+        chunks = signer.chunk_signatures(page)
+        new_chunk = rng.integers(0, 1 << 16, 500).astype(np.int64)
+        updated_page = page.copy()
+        updated_page[1000:1500] = new_chunk
+        new_sig, new_chunks = signer.resign(chunks, 2, new_chunk)
+        assert new_sig == scheme.sign(updated_page, strict=False)
+        assert new_chunks[2][0] == scheme.sign(new_chunk)
+        assert chunks[2][0] != new_chunks[2][0]
+
+    def test_resign_validates_index_and_length(self):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=10)
+        chunks = signer.chunk_signatures(np.zeros(25, dtype=np.int64))
+        with pytest.raises(SignatureError):
+            signer.resign(chunks, 9, np.zeros(10, dtype=np.int64))
+        with pytest.raises(SignatureError):
+            signer.resign(chunks, 0, np.zeros(7, dtype=np.int64))
+
+    def test_chunk_size_validation(self):
+        scheme = make_scheme(f=8, n=2)
+        with pytest.raises(SignatureError):
+            ChunkedSigner(scheme, chunk_symbols=0)
+        with pytest.raises(SignatureError):
+            ChunkedSigner(scheme, chunk_symbols=1000)  # > f=8 page bound
+
+
+class TestPairedTableSigner:
+    @given(st.lists(st.integers(0, 255), max_size=254))
+    @settings(max_examples=60, deadline=None)
+    def test_equals_reference_signature(self, symbols):
+        scheme = make_scheme(f=8, n=3)
+        signer = PairedTableSigner(scheme)
+        page = np.array(symbols, dtype=np.int64)
+        assert signer.sign(page) == scheme.sign(page)
+
+    def test_bytes_input(self):
+        scheme = make_scheme(f=8, n=2)
+        signer = PairedTableSigner(scheme)
+        assert signer.sign(b"hello world") == scheme.sign(b"hello world")
+
+    def test_odd_length_pages(self):
+        scheme = make_scheme(f=8, n=2)
+        signer = PairedTableSigner(scheme)
+        for size in (1, 3, 253):
+            page = np.arange(size, dtype=np.int64) % 256
+            assert signer.sign(page) == scheme.sign(page)
+
+    def test_requires_gf8(self):
+        with pytest.raises(SignatureError):
+            PairedTableSigner(make_scheme(f=16, n=2))
+
+    def test_page_bound_enforced(self):
+        scheme = make_scheme(f=8, n=2)
+        signer = PairedTableSigner(scheme)
+        with pytest.raises(SignatureError):
+            signer.sign(np.zeros(255, dtype=np.int64))
+
+    def test_table_halves_gather_count(self):
+        """Structural check: one table entry covers two symbols."""
+        scheme = make_scheme(f=8, n=2)
+        signer = PairedTableSigner(scheme)
+        assert len(signer._tables) == scheme.n
+        assert signer._tables[0].size == 1 << 16

@@ -1,0 +1,323 @@
+"""The paper's Propositions 1-6 as executable properties.
+
+Each class tests one proposition, both with hypothesis-generated cases
+and (where feasible) exhaustively in small fields.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+from repro.sig import (
+    PRIMITIVE,
+    STANDARD,
+    apply_delta,
+    apply_update,
+    concat,
+    concat_all,
+    delta_signature,
+    make_scheme,
+    shift,
+)
+from repro.sig.twisted import log_interpretation_scheme
+
+
+def change_symbols(page, positions, deltas):
+    altered = page.copy()
+    for position, delta in zip(positions, deltas):
+        altered[position] ^= delta
+    return altered
+
+
+class TestProposition1:
+    """Any change of up to n symbols changes sig_{alpha,n} for sure."""
+
+    def test_exhaustive_single_symbol_gf4(self):
+        """Every 1-symbol change of every position of a fixed page, all
+        255 deltas -- zero collisions, exhaustively."""
+        scheme = make_scheme(f=4, n=2)
+        rng = np.random.default_rng(1)
+        page = rng.integers(0, 16, 10).astype(np.int64)
+        base_sig = scheme.sign(page)
+        for position in range(10):
+            for delta in range(1, 16):
+                altered = change_symbols(page, [position], [delta])
+                assert scheme.sign(altered) != base_sig
+
+    def test_exhaustive_two_symbol_gf4(self):
+        from itertools import combinations, product
+
+        scheme = make_scheme(f=4, n=2)
+        rng = np.random.default_rng(2)
+        page = rng.integers(0, 16, 6).astype(np.int64)
+        base_sig = scheme.sign(page)
+        for positions in combinations(range(6), 2):
+            for deltas in product(range(1, 16), repeat=2):
+                altered = change_symbols(page, positions, deltas)
+                assert scheme.sign(altered) != base_sig
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 3))
+    @settings(max_examples=150)
+    def test_random_changes_gf8_n3(self, seed, change_size):
+        scheme = make_scheme(f=8, n=3)
+        rng = np.random.default_rng(seed)
+        page = rng.integers(0, 256, 100).astype(np.int64)
+        positions = rng.choice(100, size=change_size, replace=False)
+        deltas = [int(rng.integers(1, 256)) for _ in positions]
+        altered = change_symbols(page, positions, deltas)
+        assert scheme.sign(altered) != scheme.sign(page)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 2))
+    @settings(max_examples=80)
+    def test_random_changes_production_scheme(self, seed, change_size):
+        scheme = make_scheme()  # GF(2^16), n=2
+        rng = np.random.default_rng(seed)
+        page = rng.integers(0, 1 << 16, 500).astype(np.int64)
+        positions = rng.choice(500, size=change_size, replace=False)
+        deltas = [int(rng.integers(1, 1 << 16)) for _ in positions]
+        altered = change_symbols(page, positions, deltas)
+        assert scheme.sign(altered) != scheme.sign(page)
+
+    def test_page_at_maximum_length(self):
+        """The guarantee holds right up to l = 2^f - 2 symbols."""
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(3)
+        page = rng.integers(0, 256, scheme.max_page_symbols).astype(np.int64)
+        base_sig = scheme.sign(page)
+        for position in (0, 100, scheme.max_page_symbols - 1):
+            altered = page.copy()
+            altered[position] ^= 0xA5
+            assert scheme.sign(altered) != base_sig
+
+    def test_beyond_n_changes_can_collide(self):
+        """n+1 carefully constructed changes CAN collide -- the guarantee
+        is exactly n, not more.  We construct a collision by solving for
+        it: pick deltas in the kernel of the (n+1)-column system."""
+        gf = GF(4)
+        scheme = make_scheme(f=4, n=2)
+        rng = np.random.default_rng(4)
+        page = rng.integers(0, 16, 10).astype(np.int64)
+        base_sig = scheme.sign(page)
+        # Brute-force three-position deltas until signatures collide;
+        # Proposition 2 says ~2^-8 of candidates collide, so this finds one.
+        from itertools import product
+
+        found = False
+        for d0, d1, d2 in product(range(1, 16), repeat=3):
+            altered = change_symbols(page, [0, 1, 2], [d0, d1, d2])
+            if scheme.sign(altered) == base_sig:
+                found = True
+                break
+        assert found, "no 3-symbol collision found; Prop 1 bound looks loose"
+
+
+class TestProposition2:
+    """Random distinct pages collide with probability 2^-nf."""
+
+    @pytest.mark.parametrize("f,n", [(4, 1), (4, 2)])
+    def test_collision_rate_within_tolerance(self, f, n):
+        from repro.analysis import prop2_random_pairs
+
+        scheme = make_scheme(f=f, n=n)
+        trials = 60000
+        report = prop2_random_pairs(scheme, page_symbols=8, trials=trials, seed=9)
+        predicted = 2.0 ** (-n * f)
+        # Binomial three-sigma band around the prediction.
+        sigma = (predicted * (1 - predicted) / report.trials) ** 0.5
+        assert abs(report.observed_rate - predicted) < 4 * sigma + 1e-9
+
+    def test_signature_surjective_gf4(self):
+        """Every signature value is attained (the epimorphism in the
+        proof of Proposition 2), checked exhaustively for 2-symbol pages
+        in GF(2^4) with n = 2."""
+        scheme = make_scheme(f=4, n=2)
+        seen = set()
+        for a in range(16):
+            for b in range(16):
+                seen.add(scheme.sign(np.array([a, b])).components)
+        assert len(seen) == 16 * 16  # bijective on length-n pages
+
+    def test_equal_count_preimages(self):
+        """Each signature has exactly 2^{f(l-n)} preimages (Prop 2 proof),
+        checked exhaustively for l = 3, n = 2, f = 4."""
+        from collections import Counter
+
+        scheme = make_scheme(f=4, n=2)
+        counter = Counter()
+        for a in range(16):
+            for b in range(16):
+                for c in range(16):
+                    counter[scheme.sign(np.array([a, b, c])).components] += 1
+        counts = set(counter.values())
+        assert counts == {16}  # 2^{4*(3-2)} = 16 preimages each
+        assert len(counter) == 256
+
+
+class TestProposition3:
+    """sig(P') = sig(P) + alpha^r sig(Delta)."""
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 80), st.integers(1, 20))
+    @settings(max_examples=100)
+    def test_random_region_replacement(self, seed, start, length):
+        scheme = make_scheme(f=8, n=3)
+        rng = np.random.default_rng(seed)
+        page = rng.integers(0, 256, 100).astype(np.int64)
+        stop = min(start + length, 100)
+        new_region = rng.integers(0, 256, stop - start).astype(np.int64)
+        updated = page.copy()
+        updated[start:stop] = new_region
+        via_prop3 = apply_update(
+            scheme, scheme.sign(page), page[start:stop], new_region, start
+        )
+        assert via_prop3 == scheme.sign(updated)
+
+    def test_delta_is_xor_of_regions(self, scheme8, rng):
+        before = rng.integers(0, 256, 10).astype(np.int64)
+        after = rng.integers(0, 256, 10).astype(np.int64)
+        assert delta_signature(scheme8, before, after) == scheme8.sign(before ^ after)
+
+    def test_mismatched_regions_rejected(self, scheme8):
+        from repro.errors import SignatureError
+
+        with pytest.raises(SignatureError):
+            delta_signature(scheme8, b"abc", b"ab")
+
+    def test_identity_update(self, scheme8, rng):
+        page = rng.integers(0, 256, 50).astype(np.int64)
+        sig = scheme8.sign(page)
+        assert apply_update(scheme8, sig, page[10:20], page[10:20], 10) == sig
+
+    def test_shift_semantics(self, scheme8, rng):
+        """shift(sig, r) is the signature of r zero-symbols + page."""
+        page = rng.integers(0, 256, 30).astype(np.int64)
+        for r in (0, 1, 7, 100):
+            prefixed = np.concatenate([np.zeros(r, dtype=np.int64), page])
+            assert shift(scheme8, scheme8.sign(page), r) == scheme8.sign(prefixed)
+
+    def test_raid5_log_verification_scenario(self, scheme16, rng):
+        """The paper's Section 4.1 use: verify a batch of logged block
+        updates was applied, without rescanning between steps."""
+        block = bytearray(rng.integers(0, 256, 512, dtype=np.uint8).tobytes())
+        running_sig = scheme16.sign(bytes(block))
+        log = []
+        for _ in range(20):
+            offset = int(rng.integers(0, 256)) * 2  # symbol-aligned
+            new_bytes = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+            log.append((offset, bytes(block[offset:offset + 16]), new_bytes))
+            block[offset:offset + 16] = new_bytes
+        for offset, before, after in log:
+            running_sig = apply_update(
+                scheme16, running_sig, before, after, offset // 2
+            )
+        assert running_sig == scheme16.sign(bytes(block))
+
+
+class TestProposition4:
+    """Cut-and-paste collisions occur at rate 2^-nf for primitive bases."""
+
+    @pytest.mark.parametrize("variant", [STANDARD, PRIMITIVE])
+    def test_switch_collision_rate_small_field(self, variant):
+        from repro.analysis import prop4_switches
+
+        scheme = make_scheme(f=4, n=2, variant=variant)
+        report = prop4_switches(scheme, page_symbols=12, block_symbols=3,
+                                trials=60000, seed=11)
+        predicted = report.predicted_rate
+        sigma = (predicted * (1 - predicted) / report.trials) ** 0.5
+        assert abs(report.observed_rate - predicted) < 4 * sigma + 1e-9
+
+    def test_small_switch_detected_for_sure(self, scheme8, rng):
+        """Prop 1 corollary: moving a block of <= n/2 symbols is a
+        <= n symbol change, hence detected with certainty."""
+        for _ in range(200):
+            page = rng.integers(0, 256, 40).astype(np.int64)
+            source = int(rng.integers(0, 39))
+            block = page[source:source + 1]
+            rest = np.concatenate([page[:source], page[source + 1:]])
+            destination = int(rng.integers(0, rest.size + 1))
+            switched = np.concatenate(
+                [rest[:destination], block, rest[destination:]]
+            )
+            if np.array_equal(switched, page):
+                continue
+            assert scheme8.sign(switched) != scheme8.sign(page)
+
+
+class TestProposition5:
+    """sig(P1|P2) = sig(P1) + alpha^l sig(P2)."""
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 60), st.integers(0, 60))
+    @settings(max_examples=100)
+    def test_two_pages(self, seed, len1, len2):
+        scheme = make_scheme(f=8, n=3)
+        rng = np.random.default_rng(seed)
+        p1 = rng.integers(0, 256, len1).astype(np.int64)
+        p2 = rng.integers(0, 256, len2).astype(np.int64)
+        combined = concat(scheme, scheme.sign(p1), len1, scheme.sign(p2))
+        assert combined == scheme.sign(np.concatenate([p1, p2]))
+
+    def test_many_pages(self, scheme8, rng):
+        parts = [rng.integers(0, 256, int(rng.integers(1, 30))).astype(np.int64)
+                 for _ in range(8)]
+        sig, total = concat_all(
+            scheme8, [(scheme8.sign(p), p.size) for p in parts]
+        )
+        assert total == sum(p.size for p in parts)
+        assert sig == scheme8.sign(np.concatenate(parts))
+
+    def test_unequal_page_sizes(self, scheme16):
+        """Proposition 5 explicitly allows different lengths l and m."""
+        p1, p2 = b"short", b"a considerably longer page content here"
+        sig1 = scheme16.sign(p1)
+        sig2 = scheme16.sign(p2)
+        symbols1 = scheme16.to_symbols(p1).size
+        combined = concat(scheme16, sig1, symbols1, sig2)
+        padded = p1 + b"\x00" if len(p1) % 2 else p1  # symbol padding
+        assert combined == scheme16.sign(padded + p2)
+
+    def test_empty_left(self, scheme8):
+        sig = scheme8.sign(b"data")
+        assert concat(scheme8, scheme8.zero, 0, sig) == sig
+
+    def test_empty_right(self, scheme8):
+        sig = scheme8.sign(b"data")
+        assert concat(scheme8, sig, 4, scheme8.zero) == sig
+
+
+class TestProposition6:
+    """Twisted signatures inherit Propositions 1, 3 and 5."""
+
+    def test_prop1_for_log_twist(self):
+        scheme = log_interpretation_scheme(GF(8), n=3)
+        rng = np.random.default_rng(17)
+        for _ in range(150):
+            page = rng.integers(0, 256, 60).astype(np.int64)
+            change = int(rng.integers(1, 4))
+            positions = rng.choice(60, size=change, replace=False)
+            altered = page.copy()
+            for position in positions:
+                old = altered[position]
+                new = int(rng.integers(0, 256))
+                while new == old:
+                    new = int(rng.integers(0, 256))
+                altered[position] = new
+            assert scheme.sign(altered) != scheme.sign(page)
+
+    def test_prop5_for_log_twist(self, rng):
+        scheme = log_interpretation_scheme(GF(8), n=2)
+        p1 = rng.integers(0, 256, 20).astype(np.int64)
+        p2 = rng.integers(0, 256, 30).astype(np.int64)
+        combined = concat(scheme, scheme.sign(p1), 20, scheme.sign(p2))
+        assert combined == scheme.sign(np.concatenate([p1, p2]))
+
+    def test_twisted_differs_from_plain(self, rng):
+        plain = make_scheme(f=8, n=2)
+        twisted = log_interpretation_scheme(GF(8), n=2)
+        page = rng.integers(0, 256, 50).astype(np.int64)
+        # Different scheme identities: never comparable, and the raw
+        # component values generally differ.
+        assert twisted.scheme_id != plain.scheme_id
+        assert twisted.sign(page).components != plain.sign(page).components \
+            or True  # values may rarely coincide; identity check is the point

@@ -1,0 +1,134 @@
+"""Tests for rolling window signatures and signature search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignatureError
+from repro.sig import RollingWindow, find_signature_matches, make_scheme, search
+
+
+class TestRollingWindow:
+    def test_fills_then_slides(self, scheme8, rng):
+        data = rng.integers(0, 256, 60).astype(np.int64)
+        window = RollingWindow(scheme8, 9)
+        for i, symbol in enumerate(data):
+            window.slide(int(symbol))
+            if i >= 8:
+                expected = scheme8.sign(data[i - 8:i + 1])
+                assert window.signature == expected, i
+
+    def test_full_flag(self, scheme8):
+        window = RollingWindow(scheme8, 3)
+        assert not window.full
+        for symbol in (1, 2, 3):
+            window.slide(symbol)
+        assert window.full
+
+    @given(st.lists(st.integers(0, 255), min_size=5, max_size=50),
+           st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_matches_from_scratch_at_every_offset(self, symbols, window_size):
+        scheme = make_scheme(f=8, n=2)
+        if window_size > len(symbols):
+            window_size = len(symbols)
+        arr = np.array(symbols, dtype=np.int64)
+        window = RollingWindow(scheme, window_size)
+        for i, symbol in enumerate(symbols):
+            window.slide(symbol)
+            if i >= window_size - 1:
+                assert window.signature == scheme.sign(
+                    arr[i - window_size + 1:i + 1]
+                )
+
+    def test_window_of_one(self, scheme8):
+        window = RollingWindow(scheme8, 1)
+        for symbol in (5, 200, 0, 13):
+            window.slide(symbol)
+            assert window.signature == scheme8.sign(np.array([symbol]))
+
+    def test_bad_window_rejected(self, scheme8):
+        with pytest.raises(SignatureError):
+            RollingWindow(scheme8, 0)
+        with pytest.raises(SignatureError):
+            RollingWindow(scheme8, scheme8.max_page_symbols + 1)
+
+    def test_gf16_rolling(self, scheme16, rng):
+        data = rng.integers(0, 1 << 16, 30).astype(np.int64)
+        window = RollingWindow(scheme16, 4)
+        for i, symbol in enumerate(data):
+            window.slide(int(symbol))
+            if i >= 3:
+                assert window.signature == scheme16.sign(data[i - 3:i + 1])
+
+
+class TestFindSignatureMatches:
+    def test_finds_planted_needle(self, scheme8, rng):
+        haystack = rng.integers(0, 256, 300).astype(np.int64)
+        needle = haystack[120:128].copy()
+        target = scheme8.sign(needle)
+        matches = find_signature_matches(scheme8, haystack, target, 8)
+        assert 120 in matches
+
+    def test_all_occurrences(self, scheme8):
+        haystack = np.tile(np.array([1, 2, 3, 9], dtype=np.int64), 5)
+        needle = np.array([1, 2, 3], dtype=np.int64)
+        target = scheme8.sign(needle)
+        matches = find_signature_matches(scheme8, haystack, target, 3)
+        assert matches == [0, 4, 8, 12, 16]
+
+    def test_needle_longer_than_haystack(self, scheme8):
+        target = scheme8.sign(np.arange(10))
+        assert find_signature_matches(scheme8, np.arange(5), target, 10) == []
+
+    def test_wrong_scheme_rejected(self, scheme8, scheme16):
+        target = scheme16.sign(b"ab")
+        with pytest.raises(SignatureError):
+            find_signature_matches(scheme8, np.arange(10), target, 1)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_no_false_negatives(self, seed):
+        """Every true occurrence is a signature match (identical content
+        implies identical signatures -- the Las Vegas guarantee)."""
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(seed)
+        haystack = rng.integers(0, 4, 80).astype(np.int64)  # small alphabet
+        start = int(rng.integers(0, 75))
+        needle = haystack[start:start + 5].copy()
+        target = scheme.sign(needle)
+        matches = set(find_signature_matches(scheme, haystack, target, 5))
+        for offset in range(76):
+            if np.array_equal(haystack[offset:offset + 5], needle):
+                assert offset in matches
+
+
+class TestSearch:
+    def test_exact_results(self, scheme8):
+        haystack = b"the quick brown fox jumps over the lazy dog"
+        assert search(scheme8, haystack, b"the") == [0, 31]
+        assert search(scheme8, haystack, b"fox") == [16]
+        assert search(scheme8, haystack, b"cat") == []
+
+    def test_overlapping_occurrences(self, scheme8):
+        assert search(scheme8, b"aaaa", b"aa") == [0, 1, 2]
+
+    def test_empty_needle_rejected(self, scheme8):
+        with pytest.raises(SignatureError):
+            search(scheme8, b"abc", b"")
+
+    @given(st.binary(min_size=10, max_size=200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_matches_python_find(self, haystack, seed):
+        """search() agrees with a naive scan for needles drawn from the
+        haystack itself."""
+        scheme = make_scheme(f=8, n=2)
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, len(haystack) - 3))
+        needle = haystack[start:start + 3]
+        expected = [
+            i for i in range(len(haystack) - 2)
+            if haystack[i:i + 3] == needle
+        ]
+        assert search(scheme, haystack, needle) == expected

@@ -1,0 +1,191 @@
+"""Tests for the n-symbol signature schemes (construction + signing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageTooLongError, SignatureError
+from repro.sig import (
+    PRIMITIVE,
+    STANDARD,
+    AlgebraicSignatureScheme,
+    Signature,
+    make_base,
+    make_scheme,
+)
+
+
+class TestBases:
+    def test_consecutive_powers(self, gf8):
+        base = make_base(gf8, 4, STANDARD)
+        alpha = gf8.alpha
+        for j, beta in enumerate(base.betas, start=1):
+            assert beta == gf8.pow(alpha, j)
+
+    def test_primitive_powers(self, gf8):
+        base = make_base(gf8, 4, PRIMITIVE)
+        alpha = gf8.alpha
+        for i, beta in enumerate(base.betas):
+            assert beta == gf8.pow(alpha, 1 << i)
+
+    def test_primitive_variant_all_coordinates_primitive(self, gf8):
+        base = make_base(gf8, 5, PRIMITIVE)
+        for beta in base.betas:
+            assert gf8.is_primitive_element(beta)
+
+    def test_standard_variant_coordinates_not_all_primitive(self, gf8):
+        # alpha^3 has order 255/gcd(3,255) = 85 < 255.
+        base = make_base(gf8, 3, STANDARD)
+        assert not gf8.is_primitive_element(base.betas[2])
+
+    def test_variants_coincide_for_n2(self, gf16):
+        """sig'_{alpha,2} == sig_{alpha,2} -- why the paper's production
+        configuration enjoys both guarantee families."""
+        standard = make_base(gf16, 2, STANDARD)
+        primitive = make_base(gf16, 2, PRIMITIVE)
+        assert standard.betas == primitive.betas
+
+    def test_non_primitive_alpha_rejected(self, gf8):
+        with pytest.raises(SignatureError):
+            make_base(gf8, 2, STANDARD, alpha=1)
+
+    def test_unknown_variant_rejected(self, gf8):
+        with pytest.raises(SignatureError):
+            make_base(gf8, 2, "banana")
+
+    def test_bad_n_rejected(self, gf8):
+        with pytest.raises(SignatureError):
+            make_base(gf8, 0, STANDARD)
+
+    def test_custom_alpha(self, gf8):
+        alpha = next(a for a in gf8.primitive_elements() if a != gf8.alpha)
+        base = make_base(gf8, 2, STANDARD, alpha=alpha)
+        assert base.betas[0] == alpha
+
+
+class TestSchemeConstruction:
+    def test_paper_default(self):
+        scheme = make_scheme()
+        assert scheme.field.f == 16
+        assert scheme.n == 2
+        assert scheme.signature_bytes == 4  # the paper's 4 B vs SHA-1's 20 B
+
+    def test_max_page_symbols(self):
+        scheme = make_scheme(f=16, n=2)
+        # "For f = 16, the limit on the page size is almost 128 KB."
+        assert scheme.max_page_symbols == (1 << 16) - 2
+        assert scheme.max_page_symbols * 2 == 131068  # bytes
+
+    def test_equality_and_hash(self):
+        assert make_scheme(f=8, n=2) == make_scheme(f=8, n=2)
+        assert make_scheme(f=8, n=2) != make_scheme(f=8, n=3)
+        assert len({make_scheme(f=8, n=2), make_scheme(f=8, n=2)}) == 1
+
+    def test_repr(self):
+        assert "n=2" in repr(make_scheme(f=8, n=2))
+
+
+class TestSigning:
+    def test_deterministic(self, scheme16):
+        assert scheme16.sign(b"hello") == scheme16.sign(b"hello")
+
+    def test_empty_page(self, scheme16):
+        assert scheme16.sign(b"").is_zero
+
+    def test_zero_page_signs_zero(self, scheme16):
+        assert scheme16.sign(b"\x00" * 100).is_zero
+
+    def test_accepts_bytes_and_symbols(self, scheme8):
+        data = bytes(range(50))
+        symbols = np.arange(50, dtype=np.int64)
+        assert scheme8.sign(data) == scheme8.sign(symbols)
+
+    def test_page_too_long_strict(self, scheme8):
+        too_long = bytes(scheme8.max_page_symbols + 1)
+        with pytest.raises(PageTooLongError):
+            scheme8.sign(too_long)
+
+    def test_page_too_long_relaxed(self, scheme8):
+        too_long = b"x" * (scheme8.max_page_symbols + 10)
+        sig = scheme8.sign(too_long, strict=False)
+        assert isinstance(sig, Signature)
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=60)
+    def test_scalar_matches_vectorized(self, data):
+        """The paper's Section 5.1 loop and the numpy kernel agree."""
+        scheme = make_scheme(f=8, n=3)
+        assert scheme.sign(data) == scheme.sign_scalar(data)
+
+    @given(st.binary(min_size=2, max_size=120))
+    @settings(max_examples=40)
+    def test_scalar_matches_vectorized_gf16(self, data):
+        scheme = make_scheme(f=16, n=2)
+        assert scheme.sign(data) == scheme.sign_scalar(data)
+
+    def test_component_accessor(self, scheme8):
+        sig = scheme8.sign(b"payload")
+        for index in range(scheme8.n):
+            assert scheme8.component(b"payload", index) == sig.components[index]
+
+    def test_component_out_of_range(self, scheme8):
+        with pytest.raises(SignatureError):
+            scheme8.component(b"x", 3)
+
+    def test_differs(self, scheme16):
+        assert scheme16.differs(b"aaaa", b"aaab")
+        assert not scheme16.differs(b"aaaa", b"aaaa")
+
+    def test_first_component_is_krf_analogue(self, scheme8):
+        """The 1st component with base alpha is 'a KRF calculated in a
+        Galois field': sum p_i alpha^i."""
+        data = [3, 1, 4, 1, 5]
+        expected = 0
+        gf = scheme8.field
+        for i, p in enumerate(data):
+            expected ^= gf.mul(p, gf.pow(gf.alpha, i))
+        assert scheme8.sign(np.array(data)).components[0] == expected
+
+
+class TestSignatureValue:
+    def test_serialization_roundtrip(self, scheme16):
+        sig = scheme16.sign(b"some data")
+        raw = sig.to_bytes()
+        assert len(raw) == 4
+        assert Signature.from_bytes(raw, scheme16.scheme_id) == sig
+
+    def test_serialization_roundtrip_gf8(self, scheme8):
+        sig = scheme8.sign(b"some data")
+        raw = sig.to_bytes()
+        assert len(raw) == 3  # n=3 one-byte symbols
+        assert Signature.from_bytes(raw, scheme8.scheme_id) == sig
+
+    def test_bad_length_rejected(self, scheme16):
+        with pytest.raises(SignatureError):
+            Signature.from_bytes(b"abc", scheme16.scheme_id)
+
+    def test_wrong_component_count_rejected(self, scheme16):
+        with pytest.raises(SignatureError):
+            Signature((1, 2, 3), scheme16.scheme_id)
+
+    def test_xor_requires_same_scheme(self, scheme8, scheme16):
+        with pytest.raises(SignatureError):
+            scheme8.sign(b"x") ^ scheme16.sign(b"x")
+
+    def test_xor_is_page_addition(self, scheme8, rng):
+        """sig(P) + sig(Q) == sig(P XOR Q): component-wise linearity."""
+        p = rng.integers(0, 256, 40).astype(np.int64)
+        q = rng.integers(0, 256, 40).astype(np.int64)
+        assert scheme8.sign(p) ^ scheme8.sign(q) == scheme8.sign(p ^ q)
+
+    def test_hex_and_str(self, scheme16):
+        sig = scheme16.sign(b"data")
+        assert sig.hex() == sig.to_bytes().hex()
+        assert sig.hex() in str(sig)
+
+    def test_cross_variant_incompatible(self, gf8):
+        standard = AlgebraicSignatureScheme(gf8, 3, STANDARD)
+        primitive = AlgebraicSignatureScheme(gf8, 3, PRIMITIVE)
+        with pytest.raises(SignatureError):
+            standard.sign(b"x") ^ primitive.sign(b"x")

@@ -1,0 +1,94 @@
+"""Tests for Proposition 6 twisted schemes and the log-interpretation tuning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignatureError
+from repro.gf import GF
+from repro.sig import (
+    TwistedScheme,
+    log_interpretation_scheme,
+    make_scheme,
+    sign_log_interpreted_fast,
+)
+
+
+class TestTwistedConstruction:
+    def test_phi_required(self, gf8):
+        with pytest.raises(SignatureError):
+            TwistedScheme(gf8, n=2)
+
+    def test_phi_must_be_bijection(self, gf8):
+        not_bijective = np.zeros(gf8.size, dtype=np.int64)
+        with pytest.raises(SignatureError):
+            TwistedScheme(gf8, n=2, phi=not_bijective)
+
+    def test_phi_must_cover_field(self, gf8):
+        too_short = np.arange(10, dtype=np.int64)
+        with pytest.raises(SignatureError):
+            TwistedScheme(gf8, n=2, phi=too_short)
+
+    def test_identity_twist_matches_plain_components(self, gf8, rng):
+        """phi = identity: same component values, distinct scheme id."""
+        identity = np.arange(gf8.size, dtype=np.int64)
+        twisted = TwistedScheme(gf8, n=2, phi=identity, phi_name="id")
+        plain = make_scheme(f=8, n=2)
+        page = rng.integers(0, 256, 40).astype(np.int64)
+        assert twisted.sign(page).components == plain.sign(page).components
+        assert twisted.scheme_id != plain.scheme_id
+
+
+class TestLogInterpretation:
+    def test_phi_is_antilog_with_sentinel(self, gf8):
+        scheme = log_interpretation_scheme(gf8, n=2)
+        for p in range(gf8.order):
+            assert scheme.phi[p] == gf8.antilog(p)
+        assert scheme.phi[gf8.order] == 0  # log(0) sentinel -> zero symbol
+
+    def test_definition_matches_general_path(self, gf8, rng):
+        """sig_phi(P) computed via the TwistedScheme machinery equals the
+        definition applied by hand."""
+        scheme = log_interpretation_scheme(gf8, n=2)
+        plain = make_scheme(f=8, n=2)
+        page = rng.integers(0, 256, 30).astype(np.int64)
+        mapped = np.array([int(scheme.phi[p]) for p in page], dtype=np.int64)
+        assert scheme.sign(page).components == plain.sign(mapped).components
+
+    @given(st.lists(st.integers(0, 255), max_size=100))
+    @settings(max_examples=60)
+    def test_fast_path_matches_general(self, symbols):
+        """The paper's tuned loop (no log lookups) gives the same result
+        as phi-then-sign."""
+        scheme = log_interpretation_scheme(GF(8), n=3)
+        page = np.array(symbols, dtype=np.int64)
+        assert sign_log_interpreted_fast(scheme, page) == scheme.sign(page)
+
+    def test_fast_path_gf16(self, rng):
+        scheme = log_interpretation_scheme(GF(16), n=2)
+        page = rng.integers(0, 1 << 16, 200).astype(np.int64)
+        assert sign_log_interpreted_fast(scheme, page) == scheme.sign(page)
+
+    def test_sentinel_symbols_contribute_nothing(self):
+        gf8 = GF(8)
+        scheme = log_interpretation_scheme(gf8, n=2)
+        sentinel_page = np.full(10, gf8.log0_sentinel, dtype=np.int64)
+        assert scheme.sign(sentinel_page).is_zero
+
+    def test_bytes_input(self):
+        """Twisted schemes accept raw bytes like plain ones."""
+        scheme = log_interpretation_scheme(GF(8), n=2)
+        assert scheme.sign(b"hello") == scheme.sign(
+            np.frombuffer(b"hello", dtype=np.uint8).astype(np.int64)
+        )
+
+    def test_page_bound_enforced_on_fast_path(self):
+        gf8 = GF(8)
+        scheme = log_interpretation_scheme(gf8, n=2)
+        from repro.errors import PageTooLongError
+
+        with pytest.raises(PageTooLongError):
+            sign_log_interpreted_fast(
+                scheme, np.zeros(gf8.order, dtype=np.int64)
+            )

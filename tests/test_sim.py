@@ -1,0 +1,138 @@
+"""Tests for the simulated clock, network, and disk substrates."""
+
+import pytest
+
+from repro.errors import BackupError
+from repro.sim import (
+    DiskModel,
+    NetworkModel,
+    PAPER_SECONDS_PER_BYTE,
+    SimClock,
+    SimDisk,
+    SimNetwork,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_never_rewinds(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestNetworkModel:
+    def test_transfer_time_composition(self):
+        model = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert model.transfer_time(0) == pytest.approx(1e-3)
+        assert model.transfer_time(1_000_000) == pytest.approx(1e-3 + 1.0)
+
+    def test_default_is_100mbps(self):
+        model = NetworkModel()
+        # 1 MB at 100 Mb/s is 80 ms of serialization.
+        assert model.transfer_time(1 << 20) - model.latency == \
+            pytest.approx((1 << 20) / (100e6 / 8))
+
+
+class TestSimNetwork:
+    def test_accounting(self):
+        net = SimNetwork()
+        net.send("a", "b", "insert", 100)
+        net.send("b", "a", "ack", 10)
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 110
+        assert net.stats.by_kind["insert"] == 1
+        assert net.per_node["a"].by_kind["out:insert"] == 1
+        assert net.per_node["a"].by_kind["in:ack"] == 1
+
+    def test_clock_advances_per_message(self):
+        net = SimNetwork(model=NetworkModel(latency=1e-3, bandwidth=1e9))
+        before = net.clock.now
+        net.send("a", "b", "x", 0)
+        assert net.clock.now > before
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            SimNetwork().send("a", "b", "x", -1)
+
+    def test_reset_stats_keeps_clock(self):
+        net = SimNetwork()
+        net.send("a", "b", "x", 5)
+        t = net.clock.now
+        net.reset_stats()
+        assert net.stats.messages == 0
+        assert net.clock.now == t
+
+    def test_local_compute(self):
+        net = SimNetwork()
+        net.local_compute(0.25)
+        assert net.clock.now >= 0.25
+        assert net.stats.messages == 0
+
+
+class TestSimDisk:
+    def test_write_read_roundtrip(self):
+        disk = SimDisk()
+        disk.write_page("vol", 0, b"hello", page_size=16)
+        disk.write_page("vol", 1, b"world", page_size=16)
+        assert disk.read_page("vol", 0) == b"hello"
+        assert disk.read_volume("vol") == b"helloworld"
+
+    def test_missing_page(self):
+        with pytest.raises(BackupError):
+            SimDisk().read_page("vol", 0)
+
+    def test_oversized_page_rejected(self):
+        with pytest.raises(BackupError):
+            SimDisk().write_page("vol", 0, b"x" * 20, page_size=16)
+
+    def test_mixed_page_sizes_rejected(self):
+        disk = SimDisk()
+        disk.write_page("vol", 0, b"a", page_size=16)
+        with pytest.raises(BackupError):
+            disk.write_page("vol", 1, b"b", page_size=32)
+
+    def test_stats(self):
+        disk = SimDisk()
+        disk.write_page("vol", 0, b"abcd", page_size=8)
+        disk.read_page("vol", 0)
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_written == 4
+        assert disk.stats.reads == 1
+        assert disk.stats.bytes_read == 4
+
+    def test_write_time_scales_with_size(self):
+        model = DiskModel(seek_time=0.0)
+        disk = SimDisk(model=model)
+        t1 = disk.write_page("vol", 0, bytes(1 << 20), page_size=1 << 20)
+        assert t1 == pytest.approx((1 << 20) * PAPER_SECONDS_PER_BYTE)
+        # The paper's constant: about 300 ms per MB.
+        assert t1 == pytest.approx(0.300)
+
+    def test_file_backing(self, tmp_path):
+        disk = SimDisk(backing_dir=tmp_path)
+        disk.write_page("vol", 0, b"abcd", page_size=4)
+        disk.write_page("vol", 2, b"wxyz", page_size=4)
+        image = (tmp_path / "vol.img").read_bytes()
+        assert image[0:4] == b"abcd"
+        assert image[8:12] == b"wxyz"
+
+    def test_has_page_and_volume_pages(self):
+        disk = SimDisk()
+        disk.write_page("v", 3, b"x", page_size=4)
+        assert disk.has_page("v", 3)
+        assert not disk.has_page("v", 0)
+        assert disk.volume_pages("v") == [3]

@@ -1,0 +1,72 @@
+"""High-trial statistical tests (opt in with ``pytest --slow``).
+
+The regular suite bounds collision experiments at ~10^5 trials; these
+push to 10^6+ for tighter confidence intervals on the 2^-nf predictions
+and run the certainty claims over much larger sample spaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    prop1_sampled,
+    prop2_random_pairs,
+    prop4_adversarial_switches,
+    prop4_switches,
+)
+from repro.sig import PRIMITIVE, STANDARD, make_scheme
+
+pytestmark = pytest.mark.slow
+
+
+class TestTightCollisionBounds:
+    def test_prop2_million_trials(self):
+        scheme = make_scheme(f=4, n=2)
+        report = prop2_random_pairs(scheme, 8, trials=1_000_000, seed=1)
+        predicted = report.predicted_rate
+        sigma = (predicted * (1 - predicted) / report.trials) ** 0.5
+        assert abs(report.observed_rate - predicted) < 3.5 * sigma
+
+    def test_prop4_million_trials_both_variants(self):
+        for variant in (STANDARD, PRIMITIVE):
+            scheme = make_scheme(f=4, n=2, variant=variant)
+            report = prop4_switches(scheme, 12, 3, trials=500_000, seed=2)
+            predicted = report.predicted_rate
+            sigma = (predicted * (1 - predicted) / report.trials) ** 0.5
+            assert abs(report.observed_rate - predicted) < 4 * sigma
+
+    def test_adversarial_separation_tight(self):
+        standard = prop4_adversarial_switches(
+            make_scheme(f=4, n=3, variant=STANDARD),
+            page_symbols=14, block_symbols=5, move_distance=5,
+            trials=500_000, seed=3,
+        )
+        primitive = prop4_adversarial_switches(
+            make_scheme(f=4, n=3, variant=PRIMITIVE),
+            page_symbols=14, block_symbols=5, move_distance=5,
+            trials=500_000, seed=3,
+        )
+        # 2^-8 vs 2^-12: a 16x separation, measured within 20%.
+        ratio = standard.observed_rate / primitive.observed_rate
+        assert 8 < ratio < 32
+
+    def test_prop1_certainty_large_sample(self):
+        report = prop1_sampled(make_scheme(f=16, n=2), page_symbols=1000,
+                               trials=20_000, seed=4)
+        assert report.collisions == 0
+
+    def test_signature_uniformity_chi_square(self):
+        """Signature values of random pages are uniform: chi-square over
+        the 256 values of a GF(2^4)/n=2 signature."""
+        scheme = make_scheme(f=4, n=2)
+        rng = np.random.default_rng(5)
+        trials = 512_000
+        counts = np.zeros(256, dtype=np.int64)
+        for _ in range(trials):
+            page = rng.integers(0, 16, 8).astype(np.int64)
+            components = scheme.sign(page).components
+            counts[components[0] * 16 + components[1]] += 1
+        expected = trials / 256
+        chi_square = float(((counts - expected) ** 2 / expected).sum())
+        # 255 degrees of freedom: mean 255, sd ~22.6; accept within 5 sd.
+        assert chi_square < 255 + 5 * 22.6

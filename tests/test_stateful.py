@@ -1,0 +1,214 @@
+"""Hypothesis stateful machines: long random operation streams.
+
+These drive the stateful substrates (record heap, LH* file, cached
+client) through arbitrary interleaved operation sequences while
+checking the full invariant set after every step -- the strongest
+correctness evidence in the suite.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.sdds import CachedClient, LHFile, Record, RecordHeap, UpdateStatus
+from repro.sig import make_scheme
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Allocate / write / free against a dict reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap = RecordHeap(64)
+        self.live: dict[int, bytes] = {}
+
+    @rule(size=st.integers(1, 120), fill=st.integers(0, 255))
+    def allocate_and_write(self, size, fill):
+        offset = self.heap.allocate(size)
+        payload = bytes([fill]) * size
+        self.heap.write(offset, payload)
+        assert offset not in self.live
+        self.live[offset] = payload
+
+    @rule(data=st.data())
+    def free_one(self, data):
+        if not self.live:
+            return
+        offset = data.draw(st.sampled_from(sorted(self.live)))
+        payload = self.live.pop(offset)
+        self.heap.free(offset, len(payload))
+
+    @rule(data=st.data(), fill=st.integers(0, 255))
+    def overwrite_one(self, data, fill):
+        if not self.live:
+            return
+        offset = data.draw(st.sampled_from(sorted(self.live)))
+        payload = bytes([fill]) * len(self.live[offset])
+        self.heap.write(offset, payload)
+        self.live[offset] = payload
+
+    @invariant()
+    def free_list_consistent(self):
+        self.heap.check_invariants()
+
+    @invariant()
+    def live_extents_readable(self):
+        for offset, payload in self.live.items():
+            assert self.heap.read(offset, len(payload)) == payload
+
+    @invariant()
+    def allocated_bytes_match(self):
+        assert self.heap.allocated_bytes == sum(
+            len(payload) for payload in self.live.values()
+        )
+
+
+class LHFileMachine(RuleBasedStateMachine):
+    """Insert / search / update / delete against a dict reference model."""
+
+    def __init__(self):
+        super().__init__()
+        scheme = make_scheme(f=8, n=2)
+        self.file = LHFile(scheme, capacity_records=8)
+        self.client = self.file.client()
+        self.stale_client = self.file.client("stale")
+        self.reference: dict[int, bytes] = {}
+
+    @rule(key=st.integers(0, 500), fill=st.integers(0, 255),
+          size=st.integers(1, 40))
+    def insert(self, key, fill, size):
+        value = bytes([fill]) * size
+        result = self.client.insert(Record(key, value))
+        if key in self.reference:
+            assert result.status == "duplicate"
+        else:
+            assert result.status == "inserted"
+            self.reference[key] = value
+
+    @rule(key=st.integers(0, 500))
+    def search(self, key):
+        result = self.client.search(key)
+        if key in self.reference:
+            assert result.status == "found"
+            assert result.record.value == self.reference[key]
+        else:
+            assert result.status == "missing"
+
+    @rule(data=st.data())
+    def search_with_stale_client(self, data):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        result = self.stale_client.search(key)
+        assert result.status == "found"
+        assert result.forwards <= 2  # the LH* bound, always
+
+    @rule(data=st.data(), fill=st.integers(0, 255))
+    def update(self, data, fill):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        before = self.reference[key]
+        after = bytes([fill]) * len(before)
+        result = self.client.update_normal(key, before, after)
+        if before == after:
+            assert result.status == UpdateStatus.PSEUDO
+        else:
+            assert result.status == UpdateStatus.APPLIED
+            self.reference[key] = after
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        assert self.client.delete(key).status == "deleted"
+        del self.reference[key]
+
+    @invariant()
+    def placement_correct(self):
+        self.file.check_placement()
+
+    @invariant()
+    def counts_match(self):
+        assert self.file.record_count == len(self.reference)
+
+
+class CachedClientMachine(RuleBasedStateMachine):
+    """The cache stays coherent under interleaved cached/direct writes."""
+
+    def __init__(self):
+        super().__init__()
+        scheme = make_scheme(f=16, n=2)
+        self.file = LHFile(scheme, capacity_records=64)
+        self.direct = self.file.client("direct")
+        self.cached = CachedClient(self.file.client("cached"), capacity=8)
+        self.reference: dict[int, bytes] = {}
+
+    @rule(key=st.integers(0, 50), fill=st.integers(0, 255))
+    def insert_direct(self, key, fill):
+        value = bytes([fill]) * 32
+        if self.direct.insert(Record(key, value)).status == "inserted":
+            self.reference[key] = value
+
+    @rule(data=st.data(), fill=st.integers(0, 255))
+    def update_direct(self, data, fill):
+        """A writer the cache cannot see."""
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        value = bytes([fill]) * 32
+        result = self.direct.update_blind(key, value)
+        assert result.status in (UpdateStatus.APPLIED, UpdateStatus.PSEUDO)
+        self.reference[key] = value
+
+    @rule(data=st.data(), fill=st.integers(0, 255))
+    def update_through_cache(self, data, fill):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        value = bytes([fill]) * 32
+        result = self.cached.update_blind(key, value)
+        assert result.status in (UpdateStatus.APPLIED, UpdateStatus.PSEUDO)
+        self.reference[key] = value
+
+    @rule(key=st.integers(0, 50))
+    def read_through_cache(self, key):
+        record = self.cached.get(key)
+        if key in self.reference:
+            assert record is not None
+            # The coherence guarantee: a cached read NEVER returns a
+            # value that differs from the server's current record.
+            assert record.value == self.reference[key]
+        else:
+            assert record is None
+
+    @rule(data=st.data())
+    def delete_direct(self, data):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        self.direct.delete(key)
+        del self.reference[key]
+
+
+HeapMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)
+LHFileMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=40, deadline=None
+)
+CachedClientMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=40, deadline=None
+)
+
+TestHeapMachine = HeapMachine.TestCase
+TestLHFileMachine = LHFileMachine.TestCase
+TestCachedClientMachine = CachedClientMachine.TestCase

@@ -1,0 +1,147 @@
+"""More stateful machines: RP* files and the LH*RS store."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.parity import LHRSStore
+from repro.sdds import Record, RPFile, UpdateStatus
+from repro.sig import make_scheme
+
+
+class RPFileMachine(RuleBasedStateMachine):
+    """RP* interval/image invariants under random operation streams."""
+
+    def __init__(self):
+        super().__init__()
+        scheme = make_scheme(f=8, n=2)
+        self.file = RPFile(scheme, capacity_records=6)
+        self.client = self.file.client()
+        self.stale = self.file.client("stale")
+        self.reference: dict[int, bytes] = {}
+
+    @rule(key=st.integers(0, 400), fill=st.integers(0, 255))
+    def insert(self, key, fill):
+        value = bytes([fill]) * 16
+        result = self.client.insert(Record(key, value))
+        if key in self.reference:
+            assert result.status == "duplicate"
+        else:
+            assert result.status == "inserted"
+            self.reference[key] = value
+
+    @rule(key=st.integers(0, 400))
+    def search(self, key):
+        result = self.client.search(key)
+        if key in self.reference:
+            assert result.record.value == self.reference[key]
+        else:
+            assert result.status == "missing"
+
+    @rule(data=st.data())
+    def search_stale(self, data):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        assert self.stale.search(key).status == "found"
+
+    @rule(data=st.data(), fill=st.integers(0, 255))
+    def update(self, data, fill):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        before = self.reference[key]
+        after = bytes([fill]) * 16
+        result = self.client.update_normal(key, before, after)
+        if before == after:
+            assert result.status == UpdateStatus.PSEUDO
+        else:
+            assert result.status == UpdateStatus.APPLIED
+            self.reference[key] = after
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        assert self.client.delete(key).status == "deleted"
+        del self.reference[key]
+
+    @rule(low=st.integers(0, 400), span=st.integers(1, 100))
+    def range_search(self, low, span):
+        result = self.client.range_search(low, low + span)
+        expected = sorted(k for k in self.reference if low <= k < low + span)
+        assert [record.key for record in result.records] == expected
+
+    @invariant()
+    def placement(self):
+        self.file.check_placement()
+
+    @invariant()
+    def counts(self):
+        assert self.file.record_count == len(self.reference)
+
+
+class LHRSMachine(RuleBasedStateMachine):
+    """LH*RS store: audit + recovery invariants under random streams."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = LHRSStore(make_scheme(f=16, n=2), 3, 2, record_bytes=32)
+        self.reference: dict[int, bytes] = {}
+        self.rng = np.random.default_rng(0)
+
+    def _value(self, fill, size):
+        return bytes([fill]) * size
+
+    @rule(key=st.integers(0, 60), fill=st.integers(0, 255),
+          size=st.integers(0, 28))
+    def insert(self, key, fill, size):
+        if key in self.reference:
+            return
+        value = self._value(fill, size)
+        self.store.insert(key, value)
+        self.reference[key] = value
+
+    @rule(data=st.data(), fill=st.integers(0, 255), size=st.integers(0, 28))
+    def update(self, data, fill, size):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        value = self._value(fill, size)
+        self.store.update(key, value)
+        self.reference[key] = value
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.reference:
+            return
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        assert self.store.delete(key) == self.reference.pop(key)
+
+    @rule(victim=st.integers(0, 2))
+    def crash_and_recover_one(self, victim):
+        self.store.fail_bucket(victim)
+        self.store.recover()
+
+    @invariant()
+    def contents_match(self):
+        assert sorted(self.store.keys()) == sorted(self.reference)
+        for key, value in self.reference.items():
+            assert self.store.get(key) == value
+
+    @invariant()
+    def parity_consistent(self):
+        assert self.store.audit() == []
+
+
+RPFileMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None
+)
+LHRSMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None
+)
+
+TestRPFileMachine = RPFileMachine.TestCase
+TestLHRSMachine = LHRSMachine.TestCase

@@ -1,0 +1,154 @@
+"""Tests for replica reconciliation by signature exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.sig import make_scheme
+from repro.sim import SimNetwork
+from repro.sync import Replica, sync_by_map, sync_by_tree
+from repro.workloads import make_page
+
+
+def make_pair(nbytes=64 * 1024, page_bytes=1024, mutations=(), seed=0):
+    scheme = make_scheme(f=16, n=2)
+    base = bytearray(make_page("random", nbytes, seed=seed))
+    source = Replica("source", scheme, bytes(base), page_bytes)
+    stale = bytearray(base)
+    for position in mutations:
+        stale[position] ^= 0xFF
+    target = Replica("target", scheme, bytes(stale), page_bytes)
+    return source, target
+
+
+@pytest.mark.parametrize("sync", [sync_by_map, sync_by_tree])
+class TestBothProtocols:
+    def test_identical_replicas_ship_nothing(self, sync):
+        source, target = make_pair()
+        report = sync(source, target, SimNetwork())
+        assert report.pages_shipped == 0
+        assert report.data_bytes == 0
+        assert bytes(target.data) == bytes(source.data)
+
+    def test_scattered_divergence_repaired(self, sync):
+        source, target = make_pair(mutations=(100, 5000, 50_000))
+        report = sync(source, target, SimNetwork())
+        assert bytes(target.data) == bytes(source.data)
+        assert report.pages_shipped == 3
+        assert report.data_bytes == 3 * 1024
+
+    def test_total_divergence(self, sync):
+        source, _ = make_pair(seed=1)
+        scheme = source.scheme
+        target = Replica("target", scheme,
+                         make_page("random", 64 * 1024, seed=2), 1024)
+        report = sync(source, target, SimNetwork())
+        assert bytes(target.data) == bytes(source.data)
+        assert report.pages_shipped == report.pages_total == 64
+
+    def test_traffic_accounted(self, sync):
+        source, target = make_pair(mutations=(100,))
+        network = SimNetwork()
+        report = sync(source, target, network)
+        assert network.stats.bytes >= report.total_bytes
+        assert network.stats.messages >= 3
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_divergence_converges(self, sync, seed, n_mutations):
+        rng = np.random.default_rng(seed)
+        mutations = tuple(
+            int(p) for p in rng.choice(16 * 1024, size=n_mutations,
+                                       replace=False)
+        )
+        source, target = make_pair(nbytes=16 * 1024, page_bytes=512,
+                                   mutations=mutations, seed=seed)
+        sync(source, target, SimNetwork())
+        assert bytes(target.data) == bytes(source.data)
+
+
+class TestProtocolEconomics:
+    def test_tree_cheaper_for_few_changes(self):
+        """One changed page in a large file: the tree probe exchanges
+        far fewer signature bytes than shipping the whole map."""
+        map_source, map_target = make_pair(nbytes=1 << 20, page_bytes=1024,
+                                           mutations=(500_000,))
+        tree_source, tree_target = make_pair(nbytes=1 << 20, page_bytes=1024,
+                                             mutations=(500_000,))
+        map_report = sync_by_map(map_source, map_target, SimNetwork())
+        tree_report = sync_by_tree(tree_source, tree_target, SimNetwork())
+        assert tree_report.pages_shipped == map_report.pages_shipped == 1
+        assert tree_report.signature_bytes < map_report.signature_bytes / 5
+
+    def test_map_fewer_rounds(self):
+        """The map exchange always finishes in two rounds; the tree pays
+        log-depth round trips for its bandwidth savings."""
+        source, target = make_pair(mutations=(100,))
+        map_report = sync_by_map(source, target, SimNetwork())
+        source2, target2 = make_pair(mutations=(100,))
+        tree_report = sync_by_tree(source2, target2, SimNetwork())
+        assert map_report.rounds == 2
+        assert tree_report.rounds > 2
+
+    def test_tree_falls_back_on_length_mismatch(self):
+        scheme = make_scheme(f=16, n=2)
+        source = Replica("s", scheme, make_page("random", 8192, seed=3), 1024)
+        target = Replica("t", scheme, make_page("random", 4096, seed=4), 1024)
+        report = sync_by_tree(source, target, SimNetwork())
+        assert bytes(target.data) == bytes(source.data)
+        assert report.rounds == 2  # the map path ran
+
+    def test_shrinking_source(self):
+        scheme = make_scheme(f=16, n=2)
+        source = Replica("s", scheme, make_page("random", 4096, seed=5), 1024)
+        target = Replica("t", scheme, make_page("random", 8192, seed=5), 1024)
+        sync_by_map(source, target, SimNetwork())
+        assert bytes(target.data) == bytes(source.data)
+
+
+class TestValidation:
+    def test_mismatched_schemes_rejected(self):
+        a = Replica("a", make_scheme(f=16, n=2), b"x" * 1024, 128)
+        b = Replica("b", make_scheme(f=8, n=2), b"x" * 1024, 128)
+        with pytest.raises(ReproError):
+            sync_by_map(a, b, SimNetwork())
+
+    def test_mismatched_page_sizes_rejected(self):
+        scheme = make_scheme(f=16, n=2)
+        a = Replica("a", scheme, b"x" * 1024, 512)
+        b = Replica("b", scheme, b"x" * 1024, 256)
+        with pytest.raises(ReproError):
+            sync_by_map(a, b, SimNetwork())
+
+    def test_odd_page_size_rejected(self):
+        with pytest.raises(ReproError):
+            Replica("a", make_scheme(f=16, n=2), b"x" * 100, 511)
+
+    def test_oversized_page_rejected(self):
+        with pytest.raises(ReproError):
+            Replica("a", make_scheme(f=16, n=2), b"", 1 << 20)
+
+
+class TestTreeFanoutSweep:
+    @pytest.mark.parametrize("fanout", [2, 3, 8, 64])
+    def test_any_fanout_converges(self, fanout):
+        source, target = make_pair(nbytes=32 * 1024, page_bytes=512,
+                                   mutations=(1000, 20_000))
+        report = sync_by_tree(source, target, SimNetwork(), fanout=fanout)
+        assert bytes(target.data) == bytes(source.data)
+        assert report.pages_shipped == 2
+
+    def test_binary_tree_deepest_cheapest_signatures(self):
+        """Fanout 2 maximizes rounds but minimizes suspect sets."""
+        shallow_src, shallow_dst = make_pair(nbytes=256 * 1024,
+                                             page_bytes=512,
+                                             mutations=(100_000,))
+        deep_src, deep_dst = make_pair(nbytes=256 * 1024, page_bytes=512,
+                                       mutations=(100_000,))
+        shallow = sync_by_tree(shallow_src, shallow_dst, SimNetwork(),
+                               fanout=64)
+        deep = sync_by_tree(deep_src, deep_dst, SimNetwork(), fanout=2)
+        assert deep.rounds > shallow.rounds
+        assert deep.signature_bytes < shallow.signature_bytes

@@ -1,0 +1,175 @@
+"""Tests for the concurrency managers and interleaving harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.sig import make_scheme
+from repro.updates import (
+    ClientScript,
+    CommitOutcome,
+    SignatureManager,
+    TimestampManager,
+    TrustworthyManager,
+    lost_update_race,
+    run_schedule,
+)
+
+
+@pytest.fixture()
+def sig_manager():
+    return SignatureManager(make_scheme(f=16, n=2))
+
+
+class TestSignatureManager:
+    def test_read_commit_cycle(self, sig_manager):
+        sig_manager.insert(1, b"v1")
+        handle = sig_manager.read(1)
+        assert sig_manager.commit(handle, b"v2") is CommitOutcome.APPLIED
+        assert sig_manager.value(1) == b"v2"
+
+    def test_pseudo_update_filtered(self, sig_manager):
+        sig_manager.insert(1, b"same")
+        handle = sig_manager.read(1)
+        assert sig_manager.commit(handle, b"same") is CommitOutcome.PSEUDO
+        assert sig_manager.value(1) == b"same"
+
+    def test_conflict_on_stale_read(self, sig_manager):
+        sig_manager.insert(1, b"base")
+        stale = sig_manager.read(1)
+        fresh = sig_manager.read(1)
+        assert sig_manager.commit(fresh, b"newer") is CommitOutcome.APPLIED
+        assert sig_manager.commit(stale, b"loser") is CommitOutcome.CONFLICT
+        assert sig_manager.value(1) == b"newer"
+
+    def test_missing_key(self, sig_manager):
+        with pytest.raises(KeyNotFoundError):
+            sig_manager.read(42)
+
+    def test_zero_storage_overhead(self, sig_manager):
+        assert sig_manager.storage_overhead_per_record == 0
+
+
+class TestTimestampManager:
+    def test_correct_but_no_pseudo_detection(self):
+        manager = TimestampManager()
+        manager.insert(1, b"same")
+        handle = manager.read(1)
+        # A same-value commit is applied (and bumps the version): the
+        # timestamp scheme cannot see that nothing changed.
+        assert manager.commit(handle, b"same") is CommitOutcome.APPLIED
+
+    def test_conflict_detection(self):
+        manager = TimestampManager()
+        manager.insert(1, b"base")
+        stale = manager.read(1)
+        fresh = manager.read(1)
+        assert manager.commit(fresh, b"new") is CommitOutcome.APPLIED
+        assert manager.commit(stale, b"old") is CommitOutcome.CONFLICT
+
+    def test_storage_overhead(self):
+        assert TimestampManager.storage_overhead_per_record == 8
+
+
+class TestTrustworthyManager:
+    def test_always_applies(self):
+        manager = TrustworthyManager()
+        manager.insert(1, b"base")
+        stale = manager.read(1)
+        fresh = manager.read(1)
+        assert manager.commit(fresh, b"first") is CommitOutcome.APPLIED
+        assert manager.commit(stale, b"second") is CommitOutcome.APPLIED
+        # The second commit silently destroyed the first.
+        assert manager.value(1) == b"second"
+
+
+class TestLostUpdateRace:
+    def test_signature_manager_prevents_loss(self):
+        result = lost_update_race(SignatureManager(make_scheme(f=16, n=2)))
+        assert result.lost_updates == 0
+        assert result.outcomes["A"] is CommitOutcome.APPLIED
+        assert result.outcomes["B"] is CommitOutcome.CONFLICT
+        assert result.final_values[1] == b"balance=100+A"
+
+    def test_timestamp_manager_prevents_loss(self):
+        result = lost_update_race(TimestampManager())
+        assert result.lost_updates == 0
+        assert result.outcomes["B"] is CommitOutcome.CONFLICT
+
+    def test_trustworthy_manager_loses_update(self):
+        result = lost_update_race(TrustworthyManager())
+        assert result.lost_updates == 1
+        assert result.final_values[1] == b"balance=100+B"  # A's +A is gone
+
+
+class TestSchedules:
+    def test_serial_schedule_all_apply(self, sig_manager):
+        sig_manager.insert(1, b"v")
+        scripts = [
+            ClientScript("A", 1, lambda value: value + b"1"),
+            ClientScript("B", 1, lambda value: value + b"2"),
+        ]
+        schedule = [("A", "read"), ("A", "commit"), ("B", "read"), ("B", "commit")]
+        result = run_schedule(sig_manager, scripts, schedule)
+        assert result.outcomes["A"] is CommitOutcome.APPLIED
+        assert result.outcomes["B"] is CommitOutcome.APPLIED
+        assert result.final_values[1] == b"v12"
+        assert result.lost_updates == 0
+
+    def test_commit_before_read_rejected(self, sig_manager):
+        sig_manager.insert(1, b"v")
+        scripts = [ClientScript("A", 1, lambda v: v)]
+        with pytest.raises(ValueError):
+            run_schedule(sig_manager, scripts, [("A", "commit")])
+
+    def test_unknown_step_rejected(self, sig_manager):
+        sig_manager.insert(1, b"v")
+        scripts = [ClientScript("A", 1, lambda v: v)]
+        with pytest.raises(ValueError):
+            run_schedule(sig_manager, scripts, [("A", "write")])
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_no_lost_updates_under_random_interleavings(self, seed, n_clients):
+        """Property: under ANY read/commit interleaving of n clients on
+        one record, the signature manager never loses an applied update."""
+        rng = np.random.default_rng(seed)
+        manager = SignatureManager(make_scheme(f=16, n=2))
+        manager.insert(1, b"base")
+        scripts = [
+            ClientScript(f"c{i}", 1,
+                         (lambda tag: lambda value: value + tag)(
+                             f"+{i}".encode()))
+            for i in range(n_clients)
+        ]
+        # Random interleaving: every client reads once then commits once,
+        # in a random global order with reads before their own commit.
+        steps = []
+        pending = {f"c{i}": ["read", "commit"] for i in range(n_clients)}
+        while pending:
+            name = str(rng.choice(list(pending)))
+            steps.append((name, pending[name].pop(0)))
+            if not pending[name]:
+                del pending[name]
+        result = run_schedule(manager, scripts, steps)
+        assert result.lost_updates == 0
+        # The final value must contain the tag of every applied commit
+        # that was last (chain property): at minimum it ends with an
+        # applied client's tag.
+        applied = [name for name, outcome in result.outcomes.items()
+                   if outcome is CommitOutcome.APPLIED]
+        assert applied, "at least one commit must succeed"
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_trustworthy_loses_when_interleaved(self, seed):
+        """The canonical interleaving always costs the trustworthy
+        manager an update; the signature manager never."""
+        trusting = lost_update_race(TrustworthyManager(), key=1)
+        assert trusting.lost_updates == 1
+        signing = lost_update_race(
+            SignatureManager(make_scheme(f=8, n=2)), key=1
+        )
+        assert signing.lost_updates == 0

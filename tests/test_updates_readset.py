@@ -1,0 +1,125 @@
+"""Tests for two-step read-set validation (the Section 1 dirty-read guard)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sig import make_scheme
+from repro.updates import (
+    ReadSetTransaction,
+    SignatureManager,
+    TransactionOutcome,
+)
+
+
+@pytest.fixture()
+def store():
+    scheme = make_scheme(f=16, n=2)
+    manager = SignatureManager(scheme)
+    for key in range(5):
+        manager.insert(key, f"account-{key}:balance=100".encode())
+    return scheme, manager
+
+
+class TestCommitPaths:
+    def test_clean_commit(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        balance_a = txn.read(0)
+        balance_b = txn.read(1)
+        txn.write(0, balance_a + b"-50")
+        txn.write(1, balance_b + b"+50")
+        assert txn.commit() is TransactionOutcome.COMMITTED
+        assert manager.value(0).endswith(b"-50")
+        assert manager.value(1).endswith(b"+50")
+
+    def test_read_only_transaction_commits(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        txn.read(2)
+        assert txn.commit() is TransactionOutcome.COMMITTED
+
+    def test_write_only_transaction_commits(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        txn.write(3, b"blind write")
+        assert txn.commit() is TransactionOutcome.COMMITTED
+        assert manager.value(3) == b"blind write"
+
+    def test_abort_leaves_store_untouched(self, store):
+        scheme, manager = store
+        before = manager.value(0)
+        txn = ReadSetTransaction(scheme, manager)
+        txn.read(0)
+        txn.write(0, b"never applied")
+        txn.abort()
+        assert manager.value(0) == before
+
+    def test_no_reuse_after_finish(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        txn.commit()
+        with pytest.raises(ReproError):
+            txn.read(0)
+        with pytest.raises(ReproError):
+            txn.commit()
+
+
+class TestDirtyReadPrevention:
+    def test_intervening_write_aborts(self, store):
+        """The canonical scenario: T reads X, someone updates X, T must
+        not commit work derived from the stale read."""
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        stale = txn.read(0)
+        # Concurrent writer slips in between read and commit.
+        handle = manager.read(0)
+        manager.commit(handle, b"concurrently changed")
+        txn.write(4, stale + b" (derived)")
+        assert txn.commit() is TransactionOutcome.ABORTED
+        assert manager.value(4) == b"account-4:balance=100"  # untouched
+
+    def test_unrelated_write_does_not_abort(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        txn.read(0)
+        handle = manager.read(3)  # not in the read set
+        manager.commit(handle, b"someone else's business")
+        txn.write(0, b"fine")
+        assert txn.commit() is TransactionOutcome.COMMITTED
+
+    def test_write_to_own_read_set_key_validates_first(self, store):
+        """Validation runs before the transaction's own writes are
+        applied, so self-writes never self-invalidate."""
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        value = txn.read(2)
+        txn.write(2, value + b"!")
+        assert txn.commit() is TransactionOutcome.COMMITTED
+
+    def test_repeated_read_detects_midway_change(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        txn.read(1)
+        handle = manager.read(1)
+        manager.commit(handle, b"changed between the reads")
+        txn.read(1)  # second read sees the new value...
+        # ...but the remembered signature is the FIRST read's, so the
+        # transaction cannot commit a mix of the two.
+        assert txn.commit() is TransactionOutcome.ABORTED
+
+    def test_validation_is_cheap(self, store):
+        """The read set costs 4 bytes per record, never the values."""
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        for key in range(5):
+            txn.read(key)
+        assert txn.read_set_bytes == 5 * 4
+
+    def test_validate_is_idempotent_probe(self, store):
+        scheme, manager = store
+        txn = ReadSetTransaction(scheme, manager)
+        txn.read(0)
+        assert txn.validate()
+        handle = manager.read(0)
+        manager.commit(handle, b"drift")
+        assert not txn.validate()

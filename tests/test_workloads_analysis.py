@@ -1,0 +1,187 @@
+"""Tests for workload generators, collision analysis, and table output."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    prop1_exhaustive,
+    prop1_sampled,
+    prop2_random_pairs,
+    prop4_switches,
+    ratio,
+    sha1_small_change_detection,
+)
+from repro.errors import ReproError
+from repro.sig import make_scheme
+from repro.workloads import (
+    PAGE_KINDS,
+    attribute_update,
+    cut_and_paste,
+    make_page,
+    make_records,
+    pseudo_update_mix,
+    small_edit,
+    structured_page,
+)
+
+
+class TestPageGenerators:
+    def test_sizes(self):
+        for kind in PAGE_KINDS:
+            assert len(make_page(kind, 1000)) == 1000
+
+    def test_deterministic(self):
+        assert make_page("random", 100, seed=5) == make_page("random", 100, seed=5)
+
+    def test_seeds_differ(self):
+        assert make_page("random", 100, seed=1) != make_page("random", 100, seed=2)
+
+    def test_structured_repeats(self):
+        page = structured_page(500)
+        assert page[:20] == page.split(b"one")[0] + b"one" + \
+            page[len(page.split(b"one")[0]) + 3:20]
+        assert b"hundred" in page
+
+    def test_ascii_printable(self):
+        page = make_page("ascii", 500)
+        assert all(0x20 <= byte < 0x7F for byte in page)
+
+    def test_zero(self):
+        assert make_page("zero", 10) == bytes(10)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            make_page("nope", 10)
+
+
+class TestUpdateGenerators:
+    def test_small_edit_changes_exactly_n(self):
+        rng = np.random.default_rng(0)
+        page = make_page("ascii", 200)
+        edited = small_edit(page, 5, rng)
+        differing = sum(1 for a, b in zip(page, edited) if a != b)
+        assert differing == 5
+
+    def test_small_edit_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ReproError):
+            small_edit(b"abc", 4, rng)
+        with pytest.raises(ReproError):
+            small_edit(b"abc", 0, rng)
+
+    def test_cut_and_paste_preserves_multiset(self):
+        rng = np.random.default_rng(1)
+        page = make_page("random", 100)
+        switched = cut_and_paste(page, rng, block_bytes=10)
+        assert len(switched) == len(page)
+        assert sorted(switched) == sorted(page)
+
+    def test_cut_and_paste_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ReproError):
+            cut_and_paste(b"ab", rng)
+        with pytest.raises(ReproError):
+            cut_and_paste(b"abcdefgh", rng, block_bytes=8)
+
+    def test_attribute_update(self):
+        page = b"name=alice;salary=00100;dept=sales"
+        updated = attribute_update(page, 18, b"99999")
+        assert updated == b"name=alice;salary=99999;dept=sales"
+        with pytest.raises(ReproError):
+            attribute_update(page, 30, b"too-long-for-the-space")
+
+    def test_pseudo_update_mix_ratio(self):
+        rng = np.random.default_rng(2)
+        values = [make_page("ascii", 64, seed=i) for i in range(400)]
+        requests = pseudo_update_mix(values, 0.5, rng)
+        pseudo = sum(1 for before, after in requests if before == after)
+        assert 120 < pseudo < 280  # ~200 expected
+
+    def test_pseudo_update_mix_bounds(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ReproError):
+            pseudo_update_mix([b"x"], 1.5, rng)
+
+
+class TestRecordGenerator:
+    def test_distinct_keys(self):
+        records = make_records(200, 64)
+        keys = [record.key for record in records]
+        assert len(set(keys)) == 200
+
+    def test_value_sizes(self):
+        records = make_records(10, 100)
+        assert all(len(record.value) == 100 for record in records)
+
+    def test_loads_into_file(self):
+        from repro.sdds import LHFile
+        from repro.workloads import load_file
+
+        file = LHFile(make_scheme(f=8, n=2), capacity_records=20)
+        records = make_records(100, 32)
+        client = load_file(file, records)
+        assert file.record_count == 100
+        assert client.search(records[0].key).status == "found"
+
+
+class TestCollisionAnalysis:
+    def test_prop1_exhaustive_zero_collisions(self):
+        scheme = make_scheme(f=4, n=2)
+        report = prop1_exhaustive(scheme, page_symbols=6)
+        assert report.collisions == 0
+        assert report.trials == 6 * 15 + 15 * 15 * 15  # C(6,1)*15 + C(6,2)*225
+
+    def test_prop1_sampled_zero_collisions(self):
+        scheme = make_scheme(f=8, n=3)
+        report = prop1_sampled(scheme, page_symbols=50, trials=500)
+        assert report.collisions == 0
+
+    def test_prop1_rejects_large_field(self):
+        with pytest.raises(ReproError):
+            prop1_exhaustive(make_scheme(f=16, n=2), 4)
+
+    def test_prop2_rate_order_of_magnitude(self):
+        scheme = make_scheme(f=4, n=1)
+        report = prop2_random_pairs(scheme, 8, trials=30000, seed=1)
+        assert report.predicted_rate == pytest.approx(1 / 16)
+        assert 0.03 < report.observed_rate < 0.1
+
+    def test_prop4_rate_order_of_magnitude(self):
+        scheme = make_scheme(f=4, n=1)
+        report = prop4_switches(scheme, 10, 3, trials=30000, seed=2)
+        assert 0.03 < report.observed_rate < 0.12
+
+    def test_prop4_block_validation(self):
+        with pytest.raises(ReproError):
+            prop4_switches(make_scheme(f=4, n=1), 5, 5, 10)
+
+    def test_sha1_no_observed_collisions(self):
+        report = sha1_small_change_detection(trials=200, page_bytes=64)
+        assert report.collisions == 0
+
+
+class TestTables:
+    def test_format_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["a-much-longer-name", 12345.678]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert all(len(line) <= 80 for line in lines)
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[0.000001], [0.0], [5.5]])
+        assert "1.000e-06" in text
+        assert "0" in text
+
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
