@@ -153,17 +153,23 @@ def test_e6_report(benchmark, report_table):
     assert incl_1k > incl_100              # bigger records save more
 
 
-def test_e6_traffic_accounting(benchmark, report_table):
-    """Bytes shipped per operation: the mechanism behind the savings."""
+def test_e6_traffic_accounting(benchmark, report_table, obs_registry):
+    """Bytes shipped per operation: the mechanism behind the savings.
+
+    Byte counts come from the obs metrics registry (``net.bytes``
+    series), not the network's own TrafficStats -- the two must agree.
+    """
     benchmark.pedantic(lambda: None, rounds=1)
     file, client, records = build(1024, n_records=20)
     record = records[0]
     value = client.search(record.key).record.value
 
     def bytes_of(operation):
-        before = file.network.stats.bytes
+        before = obs_registry.total("net.bytes")
         operation()
-        return file.network.stats.bytes - before
+        after = obs_registry.total("net.bytes")
+        assert after == file.network.stats.bytes  # registry mirrors stats
+        return after - before
 
     rows = [
         ["normal pseudo", bytes_of(

@@ -5,15 +5,36 @@ Each E* benchmark registers the rows/series the paper reports through
 the pytest-benchmark timing output, so ``pytest benchmarks/
 --benchmark-only`` yields both wall-clock numbers and the paper-shaped
 tables in one run.
+
+Every benchmark also runs under a fresh :class:`~repro.obs.MetricsRegistry`
+(the autouse :func:`obs_registry` fixture), so instrumented subsystems
+emit into a per-test registry; non-empty snapshots are printed as one
+``obs`` JSON block per test in the summary, comparable across runs.
 """
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis import format_table
+from repro.obs import MetricsRegistry, set_registry
 
 _TABLES: list[str] = []
+_OBS: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def obs_registry(request):
+    """Fresh per-test metrics registry; its snapshot joins the summary."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+    snapshot = registry.snapshot()
+    if snapshot:
+        _OBS[request.node.name] = snapshot
 
 
 def report(title: str, headers, rows, notes: str | None = None) -> None:
@@ -31,11 +52,17 @@ def report_table():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _TABLES:
-        return
-    terminalreporter.write_sep("=", "paper reproduction tables")
-    for text in _TABLES:
+    if _TABLES:
+        terminalreporter.write_sep("=", "paper reproduction tables")
+        for text in _TABLES:
+            terminalreporter.write_line("")
+            for line in text.splitlines():
+                terminalreporter.write_line(line)
         terminalreporter.write_line("")
-        for line in text.splitlines():
-            terminalreporter.write_line(line)
-    terminalreporter.write_line("")
+    if _OBS:
+        terminalreporter.write_sep("=", "obs metric snapshots")
+        for name, snapshot in _OBS.items():
+            terminalreporter.write_line(
+                f"obs {name} {json.dumps(snapshot, sort_keys=True)}"
+            )
+        terminalreporter.write_line("")

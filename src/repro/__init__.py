@@ -25,6 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.sim`       -- simulated clock / network / disk substrate
 * :mod:`repro.workloads` -- page, update-pattern, and record generators
 * :mod:`repro.analysis`  -- collision experiments and report tables
+* :mod:`repro.obs`       -- metrics registry, span tracing, run reports
 """
 
 from .errors import ReproError
@@ -36,9 +37,10 @@ from .sig import (
     SignatureTree,
     make_scheme,
 )
-from .sdds import LHFile, Record, RPFile, UpdateStatus
+from .sdds import LHFile, OperationStatus, Record, RPFile, UpdateStatus
 from .backup import BackupEngine
 from .parity import ReliabilityGroup
+from .obs import MetricsRegistry, RunReport, Tracer, get_registry
 
 __version__ = "1.0.0"
 
@@ -56,7 +58,12 @@ __all__ = [
     "RPFile",
     "Record",
     "UpdateStatus",
+    "OperationStatus",
     "BackupEngine",
     "ReliabilityGroup",
+    "MetricsRegistry",
+    "RunReport",
+    "Tracer",
+    "get_registry",
     "__version__",
 ]

@@ -9,6 +9,10 @@ Commands:
 * ``examples``    -- run every example script in sequence
 * ``recommend <page_bytes>`` -- print the scheme the Section 5.2
                      reasoning picks for that page size
+* ``report [script.py] [--json]`` -- run a workload (a script, or a
+                     built-in demo touching every subsystem) under a
+                     fresh metrics registry and print the observability
+                     run report (table, or stable JSON with ``--json``)
 """
 
 from __future__ import annotations
@@ -80,6 +84,96 @@ def _recommend(arguments: list[str]) -> int:
     return 0
 
 
+def _demo_workload():
+    """Exercise every instrumented subsystem once; returns the tracer.
+
+    The workload is deterministic (seeded records, simulated clock) so
+    ``report --json`` emits the same document on every run.
+    """
+    from repro import make_scheme
+    from repro.backup import BackupEngine
+    from repro.obs import Tracer
+    from repro.parity import LHRSStore
+    from repro.sdds import LHFile
+    from repro.sim import SimDisk, SimNetwork
+    from repro.workloads import make_records
+
+    scheme = make_scheme()
+    network = SimNetwork()
+    tracer = Tracer(clock=network.clock)
+    file = LHFile(scheme, capacity_records=64, network=network)
+    client = file.client()
+    records = make_records(48, 256, seed=7)
+    with tracer.span("sdds.workload", records=len(records)):
+        for record in records:
+            client.insert(record)
+        for record in records[:16]:
+            client.search(record.key)
+        value = records[0].value
+        client.update_normal(records[0].key, value, value)     # pseudo
+        client.update_normal(records[0].key, value, b"Z" * len(value))
+        client.update_blind(records[1].key, records[1].value)  # pseudo
+    disk = SimDisk(clock=network.clock)
+    engine = BackupEngine(scheme, disk, page_bytes=4096)
+    image = bytearray(16 * 4096)
+    with tracer.span("backup.pass", pages=16):
+        engine.backup("demo", bytes(image))
+        image[0] ^= 0xFF
+        engine.backup("demo", bytes(image))
+    store = LHRSStore(scheme, data_buckets=3, parity_buckets=2,
+                      record_bytes=64)
+    with tracer.span("parity.cycle"):
+        for key in range(12):
+            store.insert(key, f"record {key}".encode())
+        store.update(3, b"updated record")
+        store.fail_bucket(1)
+        store.recover()
+        store.audit_rank(0)
+    return tracer
+
+
+def _report(arguments: list[str]) -> int:
+    """Run a workload under a fresh registry and print its run report."""
+    import contextlib
+    import io
+    import runpy
+
+    from repro.obs import MetricsRegistry, RunReport, use_registry
+
+    as_json = "--json" in arguments
+    paths = [a for a in arguments if a != "--json"]
+    if len(paths) > 1:
+        print("usage: python -m repro report [script.py] [--json]",
+              file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    tracer = None
+    meta: dict[str, str] = {}
+    # In JSON mode the workload's own stdout would corrupt the document;
+    # swallow it and emit only the report.
+    sink = io.StringIO() if as_json else sys.stdout
+    with use_registry(registry):
+        if paths:
+            script = pathlib.Path(paths[0])
+            if not script.is_file():
+                print(f"no such script: {script}", file=sys.stderr)
+                return 2
+            meta["source"] = script.name
+            with contextlib.redirect_stdout(sink):
+                runpy.run_path(str(script), run_name="__main__")
+        else:
+            meta["source"] = "demo"
+            with contextlib.redirect_stdout(sink):
+                tracer = _demo_workload()
+    report = RunReport(registry, tracer=tracer, meta=meta)
+    if as_json:
+        print(report.to_json())
+    else:
+        print()
+        print(report.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a CLI command; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -90,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": lambda: _bench(),
         "examples": lambda: _examples(),
         "recommend": lambda: _recommend(argv[1:]),
+        "report": lambda: _report(argv[1:]),
     }
     if command not in handlers:
         print(__doc__, file=sys.stderr)

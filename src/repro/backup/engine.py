@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import BackupError
+from ..obs import get_registry
 from ..sdds.bucket import Bucket
 from ..sig.compound import SignatureMap
 from ..sig.scheme import AlgebraicSignatureScheme
@@ -120,7 +121,30 @@ class BackupEngine:
             bytes_written += len(page)
         self._maps[volume] = new_map
         if self.use_tree:
-            self._trees[volume] = SignatureTree.from_map(new_map, self.tree_fanout)
+            tree = SignatureTree.from_map(new_map, self.tree_fanout)
+            self._trees[volume] = tree
+            if old_map is not None and tree_comparisons:
+                # Each changed page is located by one root-to-leaf
+                # descent; the depth distribution is the E9 cost shape.
+                depths = get_registry().histogram("backup.tree_depth")
+                for _ in changed:
+                    depths.observe(tree.height)
+                get_registry().histogram(
+                    "backup.tree_nodes_compared"
+                ).observe(tree_comparisons)
+        registry = get_registry()
+        registry.counter("backup.passes", engine="signature").inc()
+        registry.counter("backup.pages_scanned",
+                         engine="signature").inc(new_map.page_count)
+        registry.counter("backup.pages_written",
+                         engine="signature").inc(len(changed))
+        registry.counter("backup.pages_skipped", engine="signature").inc(
+            # A grown volume can have more changed pages than the old
+            # map had entries; skipped never goes below zero.
+            max(0, new_map.page_count - len(changed))
+        )
+        registry.counter("backup.bytes_written",
+                         engine="signature").inc(bytes_written)
         return BackupReport(
             volume=volume,
             pages_total=new_map.page_count,
@@ -181,12 +205,17 @@ class BackupEngine:
             raise BackupError(f"volume {volume!r} was never backed up")
         signature_map = self._maps[volume]
         corrupted = []
+        scanned = 0
         for index in self.disk.volume_pages(volume):
             if index >= signature_map.page_count:
                 continue  # stale tail pages from a shrunk volume
+            scanned += 1
             page = self.disk.read_page(volume, index)
             if self.scheme.sign(page, strict=False) != signature_map[index]:
                 corrupted.append(index)
+        registry = get_registry()
+        registry.counter("backup.scrub_pages").inc(scanned)
+        registry.counter("backup.scrub_corrupt").inc(len(corrupted))
         return corrupted
 
     # ------------------------------------------------------------------
@@ -285,6 +314,15 @@ class DirtyBitBackupEngine:
             bytes_written += len(page)
         self.tracker.reset(dirty)
         pages_total = (len(image) + page_bytes - 1) // page_bytes
+        registry = get_registry()
+        registry.counter("backup.passes", engine="dirty").inc()
+        registry.counter("backup.pages_scanned", engine="dirty").inc(pages_total)
+        registry.counter("backup.pages_written", engine="dirty").inc(len(dirty))
+        registry.counter("backup.pages_skipped", engine="dirty").inc(
+            max(0, pages_total - len(dirty))
+        )
+        registry.counter("backup.bytes_written",
+                         engine="dirty").inc(bytes_written)
         return BackupReport(
             volume=volume,
             pages_total=pages_total,

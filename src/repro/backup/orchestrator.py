@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import BackupError
+from ..obs import get_registry
 from ..sdds.file import LHFile
 from .engine import BackupEngine, BackupReport
 from .eviction import deserialize_bucket, serialize_bucket
@@ -66,6 +67,9 @@ class FileBackupOrchestrator:
             )
         metadata = self._encode_metadata(file)
         self.engine.backup(label + _META_SUFFIX, metadata)
+        registry = get_registry()
+        registry.counter("backup.file_passes").inc()
+        registry.gauge("backup.file_buckets").set(len(reports))
         return FileBackupReport(label, tuple(reports))
 
     # ------------------------------------------------------------------

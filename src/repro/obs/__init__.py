@@ -1,0 +1,51 @@
+"""Observability layer: metrics registry, span tracing, run reports.
+
+The measurement substrate for the whole reproduction.  The paper's
+core claims about SDDS signatures are accounting results (bytes not
+shipped, pages not written, signatures computed); every subsystem
+emits that accounting into one injectable :class:`MetricsRegistry`,
+spans nest through :class:`Tracer` over wall and simulated clocks, and
+:class:`RunReport` renders both as human tables and stable JSON.
+
+Quick tour::
+
+    from repro.obs import get_registry, MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        ...  # run any workload: sdds ops, backups, parity updates
+    print(registry.snapshot()["net.bytes"])
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Snapshotable,
+    get_registry,
+    labels_to_str,
+    set_registry,
+    use_registry,
+)
+from .tracer import Span, SpanEvent, Tracer
+from .report import SCHEMA, RunReport
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Snapshotable",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "labels_to_str",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "RunReport",
+    "SCHEMA",
+]

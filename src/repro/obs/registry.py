@@ -1,0 +1,329 @@
+"""Labeled metric series: counters, gauges, and histograms.
+
+The paper's headline results are accounting numbers -- bytes not
+shipped by pseudo-updates (Section 2.2), pages not written by the
+signature-map backup (Section 2.1), signatures computed per scan
+(Section 2.3).  :class:`MetricsRegistry` is the one place that
+accounting lands: every instrumented subsystem (signature calculus,
+SDDS protocols, simulated network/disk, backup engine, LH*RS parity)
+emits into named, labeled series such as
+``sig.bytes_signed{field=gf16,variant=standard}``, and every
+experiment reads comparable numbers back out instead of threading
+ad-hoc counters by hand.
+
+The registry is process-wide by default (:func:`get_registry`) but
+injectable: benchmarks and tests install a fresh one with
+:func:`set_registry` or the :func:`use_registry` context manager, so
+concurrent experiments never share counters.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+from ..errors import ReproError
+
+
+class MetricError(ReproError):
+    """Invalid metric name, label, or series-type conflict."""
+
+
+#: Metric names: lowercase dotted paths, e.g. ``backup.pages_written``.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+#: Label keys: lowercase identifiers, e.g. ``field``, ``op``.
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Canonical label encoding: sorted ``key=value`` pairs joined by commas.
+LabelItems = tuple  # tuple[tuple[str, str], ...]
+
+
+@runtime_checkable
+class Snapshotable(Protocol):
+    """Anything that can render itself as a plain, JSON-ready dict.
+
+    The shared contract between the legacy SDDS counters
+    (:class:`repro.sim.stats.TrafficStats`,
+    :class:`repro.sim.stats.DiskStats`) and the obs layer: a
+    ``snapshot()`` with deterministic key ordering, so report JSON
+    diffs cleanly between runs.
+    """
+
+    def snapshot(self) -> dict:
+        """Plain-dict view with deterministic key ordering."""
+        ...
+
+
+def _canonical_labels(labels: dict) -> LabelItems:
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise MetricError(f"invalid label key {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def labels_to_str(items: LabelItems) -> str:
+    """Render canonical label items as ``k=v,k2=v2`` (empty for none)."""
+    return ",".join(f"{key}={value}" for key, value in items)
+
+
+class Counter:
+    """A monotonically increasing series (events, bytes, pages)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add a non-negative amount to the counter."""
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of the series."""
+        return {"labels": dict(self.labels), "type": "counter",
+                "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{{{labels_to_str(self.labels)}}}={self.value})"
+
+
+class Gauge:
+    """A series holding the latest value (sizes, levels, ratios)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Adjust the gauge by a (possibly negative) amount."""
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of the series."""
+        return {"labels": dict(self.labels), "type": "gauge",
+                "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{{{labels_to_str(self.labels)}}}={self.value})"
+
+
+class Histogram:
+    """A series of observations with percentile queries.
+
+    Keeps raw observations (simulation runs are finite), so
+    percentiles are exact: ``percentile(p)`` uses linear interpolation
+    between closest ranks, matching ``numpy.percentile``'s default.
+    """
+
+    __slots__ = ("name", "labels", "_values", "_sorted")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation."""
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return sum(self._values)
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0 when empty)."""
+        return min(self._values) if self._values else 0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0 when empty)."""
+        return max(self._values) if self._values else 0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0 <= p <= 100), linearly interpolated."""
+        if not 0 <= p <= 100:
+            raise MetricError(f"percentile {p} outside 0..100")
+        if not self._values:
+            return 0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = (len(self._values) - 1) * p / 100
+        low = int(rank)
+        high = min(low + 1, len(self._values) - 1)
+        fraction = rank - low
+        return self._values[low] * (1 - fraction) + self._values[high] * fraction
+
+    def snapshot(self) -> dict:
+        """Percentile summary of the series (deterministic key order)."""
+        return {
+            "labels": dict(self.labels),
+            "type": "histogram",
+            "value": {
+                "count": self.count,
+                "max": self.max,
+                "min": self.min,
+                "p50": self.percentile(50),
+                "p90": self.percentile(90),
+                "p99": self.percentile(99),
+                "sum": self.sum,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}{{{labels_to_str(self.labels)}}}, "
+                f"n={self.count})")
+
+
+class MetricsRegistry:
+    """A namespace of labeled metric series.
+
+    Series are created on first touch and shared thereafter:
+    ``registry.counter("net.bytes", kind="update")`` always returns the
+    same :class:`Counter` for the same name and label set.  Names are
+    dotted lowercase paths whose first segment is the subsystem
+    (``sig``, ``net``, ``disk``, ``sdds``, ``backup``, ``parity`` --
+    the DESIGN.md naming convention).
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, LabelItems], Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Series accessors
+    # ------------------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: dict):
+        key = (name, _canonical_labels(labels))
+        series = self._series.get(key)
+        if series is None:
+            if not _NAME_RE.match(name):
+                raise MetricError(f"invalid metric name {name!r}")
+            with self._lock:
+                series = self._series.setdefault(key, cls(name, key[1]))
+        if not isinstance(series, cls):
+            raise MetricError(
+                f"metric {name} already registered as "
+                f"{type(series).__name__}, not {cls.__name__}"
+            )
+        return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter series for ``name`` + labels."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge series for ``name`` + labels."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Get or create the histogram series for ``name`` + labels."""
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def series(self) -> Iterator[Counter | Gauge | Histogram]:
+        """All series, ordered by (name, labels) for determinism."""
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def total(self, name: str, **labels) -> float:
+        """Sum of all counter/gauge series of ``name`` matching ``labels``.
+
+        A series matches when every given label equals its value; extra
+        labels on the series are ignored, so
+        ``registry.total("net.bytes")`` sums over all message kinds.
+        """
+        match = _canonical_labels(labels)
+        total = 0
+        for (series_name, items), series in self._series.items():
+            if series_name != name:
+                continue
+            if isinstance(series, Histogram):
+                continue
+            if all(item in items for item in match):
+                total += series.value
+        return total
+
+    def snapshot(self) -> dict:
+        """Deterministic nested dict: name -> label string -> value.
+
+        Counters and gauges map to their scalar value; histograms to
+        their percentile summary.  All keys are sorted, so two runs of
+        the same workload produce byte-identical JSON.
+        """
+        out: dict[str, dict] = {}
+        for series in self.series():
+            body = series.snapshot()
+            out.setdefault(series.name, {})[labels_to_str(series.labels)] = \
+                body["value"]
+        return out
+
+    def reset(self) -> None:
+        """Drop every series (fresh accounting for a new experiment)."""
+        with self._lock:
+            self._series.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-wide default registry (injectable)
+# ----------------------------------------------------------------------
+
+_default_registry = MetricsRegistry()
+_active_registry = _default_registry
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (process-wide unless injected)."""
+    return _active_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous."""
+    global _active_registry
+    previous = _active_registry
+    _active_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Context manager installing ``registry`` for the enclosed block."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

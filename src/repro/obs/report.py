@@ -1,0 +1,109 @@
+"""Run reports: the metrics registry rendered for humans and machines.
+
+One :class:`RunReport` is the end-of-run artifact of any experiment in
+this reproduction: a grouped, human-readable table of every metric
+series (the E5/E6/E7 accounting the paper tabulates -- pages written,
+bytes shipped, signatures computed) and a *stable* JSON document
+(sorted keys, no wall-clock noise by default) that benchmark and CI
+runs can diff between revisions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import Histogram, MetricsRegistry, labels_to_str
+from .tracer import Tracer
+
+#: Version tag of the JSON layout; bump on incompatible changes.
+SCHEMA = "repro.obs/run-report/v1"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_histogram(summary: dict) -> str:
+    return (f"n={summary['count']} p50={_format_value(summary['p50'])} "
+            f"p90={_format_value(summary['p90'])} "
+            f"p99={_format_value(summary['p99'])} "
+            f"max={_format_value(summary['max'])}")
+
+
+class RunReport:
+    """Renders a registry (and optional tracer) as tables or JSON."""
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer | None = None,
+                 meta: dict | None = None):
+        self.registry = registry
+        self.tracer = tracer
+        self.meta = dict(sorted((meta or {}).items()))
+
+    # ------------------------------------------------------------------
+    # Machine-readable
+    # ------------------------------------------------------------------
+
+    def to_dict(self, include_wall: bool = False) -> dict:
+        """The stable JSON-ready document (sorted, deterministic)."""
+        document = {
+            "meta": self.meta,
+            "metrics": self.registry.snapshot(),
+            "schema": SCHEMA,
+        }
+        if self.tracer is not None:
+            document["spans"] = self.tracer.snapshot(include_wall=include_wall)
+        return document
+
+    def to_json(self, indent: int | None = 2,
+                include_wall: bool = False) -> str:
+        """Serialize :meth:`to_dict` with sorted keys."""
+        return json.dumps(self.to_dict(include_wall=include_wall),
+                          indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # Human-readable
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Grouped metric tables, one section per subsystem prefix."""
+        lines: list[str] = []
+        if self.meta:
+            lines.append("run: " + ", ".join(
+                f"{key}={value}" for key, value in self.meta.items()
+            ))
+        groups: dict[str, list] = {}
+        for series in self.registry.series():
+            groups.setdefault(series.name.split(".", 1)[0], []).append(series)
+        if not groups:
+            lines.append("(no metrics recorded)")
+        for group in sorted(groups):
+            rows = []
+            for series in groups[group]:
+                if isinstance(series, Histogram):
+                    value = _format_histogram(series.snapshot()["value"])
+                else:
+                    value = _format_value(series.value)
+                labels = labels_to_str(series.labels)
+                rows.append((series.name, labels, value))
+            lines.append("")
+            lines.append(f"== {group} ==")
+            name_width = max(len(row[0]) for row in rows)
+            label_width = max(len(row[1]) for row in rows)
+            for name, labels, value in rows:
+                lines.append(
+                    f"  {name:<{name_width}}  {labels:<{label_width}}  {value}"
+                )
+        if self.tracer is not None and self.tracer.finished:
+            lines.append("")
+            lines.append("== spans ==")
+            for span in self.tracer.finished:
+                indent = "  " * (span.depth + 1)
+                sim = ("-" if span.sim_seconds is None
+                       else f"{span.sim_seconds * 1e3:.3f} ms sim")
+                lines.append(
+                    f"{indent}{span.name}  {sim}  "
+                    f"{span.wall_seconds * 1e3:.3f} ms wall"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Lightweight span tracing over wall and simulated clocks.
+
+The SDDS experiments run against the simulated multicomputer clock
+(:class:`repro.sim.clock.SimClock`) while the signature calculus burns
+real CPU; a span therefore records *both* durations -- the modeled
+seconds the paper's cost structure predicts and the wall seconds this
+reproduction actually spent.  Spans nest through a context manager and
+carry structured events, giving experiments a per-phase breakdown
+(sign / ship / write) to put next to the aggregate metric series.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One structured event inside a span."""
+
+    name: str
+    wall_offset: float          #: wall seconds since the span started
+    sim_offset: float | None    #: sim-clock seconds since span start
+    fields: dict
+
+
+@dataclass
+class Span:
+    """An in-flight (then finished) traced operation."""
+
+    name: str
+    labels: dict
+    depth: int
+    parent: str | None
+    wall_start: float
+    sim_start: float | None
+    wall_seconds: float = 0.0
+    sim_seconds: float | None = None
+    events: list[SpanEvent] = field(default_factory=list)
+
+    def event(self, name: str, **fields) -> None:
+        """Record a structured event at the current clock positions."""
+        self.events.append(SpanEvent(
+            name=name,
+            wall_offset=time.perf_counter() - self.wall_start,
+            sim_offset=None if self.sim_start is None else
+            self._sim_now() - self.sim_start,
+            fields=dict(sorted(fields.items())),
+        ))
+
+    # Patched in by the tracer so events can read the sim clock.
+    def _sim_now(self) -> float:
+        return self.sim_start or 0.0
+
+
+class Tracer:
+    """Collects nested spans; optionally tied to a simulated clock.
+
+    ``clock`` is anything with a ``now`` attribute in seconds (duck
+    typed so :class:`repro.sim.clock.SimClock` works without an import
+    cycle).  Without a clock, only wall durations are recorded.
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def _sim_now(self) -> float | None:
+        return None if self.clock is None else self.clock.now
+
+    @contextmanager
+    def span(self, name: str, **labels):
+        """Open a nested span; yields the :class:`Span` handle."""
+        if not name:
+            raise ReproError("span name cannot be empty")
+        span = Span(
+            name=name,
+            labels=dict(sorted(labels.items())),
+            depth=len(self._stack),
+            parent=self._stack[-1].name if self._stack else None,
+            wall_start=time.perf_counter(),
+            sim_start=self._sim_now(),
+        )
+        if self.clock is not None:
+            span._sim_now = lambda: self.clock.now  # type: ignore[method-assign]
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            popped = self._stack.pop()
+            popped.wall_seconds = time.perf_counter() - popped.wall_start
+            if popped.sim_start is not None:
+                popped.sim_seconds = self.clock.now - popped.sim_start
+            self.finished.append(popped)
+
+    def snapshot(self, include_wall: bool = False) -> list[dict]:
+        """Finished spans as plain dicts (completion order).
+
+        Wall durations are excluded by default so that two runs of the
+        same simulated workload produce identical JSON; pass
+        ``include_wall=True`` for profiling output.
+        """
+        out = []
+        for span in self.finished:
+            entry = {
+                "depth": span.depth,
+                "events": [
+                    {"fields": event.fields, "name": event.name,
+                     "sim_offset": event.sim_offset}
+                    for event in span.events
+                ],
+                "labels": span.labels,
+                "name": span.name,
+                "parent": span.parent,
+                "sim_seconds": span.sim_seconds,
+            }
+            if include_wall:
+                entry["wall_seconds"] = span.wall_seconds
+                for event, raw in zip(entry["events"], span.events):
+                    event["wall_offset"] = raw.wall_offset
+            out.append(entry)
+        return out
+
+    def reset(self) -> None:
+        """Drop all finished spans (open spans are kept)."""
+        self.finished.clear()

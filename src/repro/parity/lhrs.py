@@ -35,6 +35,7 @@ import numpy as np
 
 from ..errors import KeyNotFoundError, ParityError
 from ..gf.vectorized import as_symbol_array, symbols_to_bytes
+from ..obs import get_registry
 from ..sig.scheme import AlgebraicSignatureScheme
 from .consistency import parity_consistent
 from .reed_solomon import ReedSolomonCode
@@ -143,6 +144,9 @@ class LHRSStore:
                 self._parity[parity_index][rank]
                 ^ self.code.parity_delta(parity_index, bucket, delta)
             )
+        registry = get_registry()
+        registry.counter("parity.delta_updates").inc(self.k)
+        registry.counter("parity.delta_symbols").inc(self.k * int(delta.size))
 
     def _check_available(self, bucket: int) -> None:
         if bucket in self._failed:
@@ -247,6 +251,13 @@ class LHRSStore:
                 if key is not None:
                     self._directory[key] = _Slot(bucket, rank)
                     restored += 1
+        registry = get_registry()
+        registry.counter("parity.recoveries").inc()
+        registry.counter("parity.ranks_reconstructed").inc(ranks)
+        registry.counter("parity.records_restored").inc(restored)
+        registry.counter(
+            "parity.recovery_symbols"
+        ).inc(ranks * len(self._failed) * self.record_symbols)
         self._failed.clear()
         return restored
 
@@ -261,6 +272,8 @@ class LHRSStore:
         """Check the data/parity signature relation at one rank."""
         if rank >= self._rank_count():
             raise ParityError(f"rank {rank} holds no records")
+        registry = get_registry()
+        registry.counter("parity.audit_ranks").inc()
         data_sigs = [self.scheme.sign(self._data[bucket][rank])
                      for bucket in range(self.m)]
         for parity_index in range(self.k):
@@ -269,6 +282,7 @@ class LHRSStore:
                 self.scheme, data_sigs, parity_sig,
                 self.code.parity_rows[parity_index],
             ):
+                registry.counter("parity.audit_failures").inc()
                 return False
         return True
 

@@ -12,7 +12,12 @@ from .heap import RecordHeap
 from .bucket import Bucket
 from .lh import ClientImage, FileState, LHAddressing
 from .server import SDDSServer, ServerStats, UpdateOutcome
-from .client import BaseSDDSClient, OperationResult, UpdateStatus
+from .client import (
+    BaseSDDSClient,
+    OperationResult,
+    OperationStatus,
+    UpdateStatus,
+)
 from .file import LHClient, LHFile
 from .rp import KEY_SPACE, RPClient, RPFile, RPServer
 from .cache import CachedClient, CacheStats
@@ -31,6 +36,7 @@ __all__ = [
     "UpdateOutcome",
     "BaseSDDSClient",
     "OperationResult",
+    "OperationStatus",
     "UpdateStatus",
     "LHFile",
     "LHClient",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from . import messages
-from .client import BaseSDDSClient, OperationResult
+from .client import BaseSDDSClient, OperationResult, OperationStatus
 from .record import Record
 
 
@@ -93,15 +93,16 @@ class CachedClient:
     def insert(self, record: Record) -> OperationResult:
         """Insert through the client, priming the cache."""
         result = self.client.insert(record)
-        if result.status == "inserted":
+        if result.status is OperationStatus.INSERTED:
             self._remember(record.key, record.value)
         return result
 
     def update_normal(self, key: int, before: bytes, after: bytes) -> OperationResult:
         """Update through the client; the cache learns the after-image."""
         result = self.client.update_normal(key, before, after)
-        if result.status.name in ("APPLIED", "PSEUDO"):
-            self._remember(key, after if result.status.name == "APPLIED" else before)
+        if result.status in (OperationStatus.APPLIED, OperationStatus.PSEUDO):
+            self._remember(key, after if result.status is
+                           OperationStatus.APPLIED else before)
         else:
             self._cache.pop(key, None)  # conflicting writer: we are stale
         return result
@@ -109,7 +110,7 @@ class CachedClient:
     def update_blind(self, key: int, after: bytes) -> OperationResult:
         """Blind update through the client; cache follows the outcome."""
         result = self.client.update_blind(key, after)
-        if result.status.name in ("APPLIED", "PSEUDO"):
+        if result.status in (OperationStatus.APPLIED, OperationStatus.PSEUDO):
             self._remember(key, after)
         else:
             self._cache.pop(key, None)

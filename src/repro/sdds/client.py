@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..errors import SDDSError
+from ..obs import get_registry
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.signature import Signature
 from ..sim.network import SimNetwork
@@ -34,20 +35,39 @@ from .record import Record
 from .server import SDDSServer, UpdateOutcome
 
 
-class UpdateStatus(Enum):
-    """Client-visible outcome of an update request."""
+class OperationStatus(str, Enum):
+    """Client-visible outcome of any SDDS client operation.
 
+    A ``str`` mixin keeps the enum comparable with its lowercase value
+    (``OperationStatus.FOUND == "found"``), so protocol code and
+    experiments can pattern-match on either spelling; the
+    :class:`OperationResult` type itself carries only the enum.
+    """
+
+    # Update protocol (Section 2.2)
     APPLIED = "applied"
     PSEUDO = "pseudo"        #: filtered at the client (or after sig fetch)
     CONFLICT = "conflict"    #: rolled back; application should redo
-    MISSING = "missing"
+    MISSING = "missing"      #: no record with that key
+    # Key operations
+    INSERTED = "inserted"
+    DUPLICATE = "duplicate"
+    FOUND = "found"
+    DELETED = "deleted"
+    # Scans and range queries (Section 2.3)
+    SCANNED = "scanned"
+
+
+#: Historical name for the update-protocol outcomes; the one enum now
+#: covers every operation.
+UpdateStatus = OperationStatus
 
 
 @dataclass(frozen=True, slots=True)
 class OperationResult:
     """Outcome plus the cost accounting of one client operation."""
 
-    status: UpdateStatus | str
+    status: OperationStatus
     record: Record | None = None
     records: tuple[Record, ...] = ()
     messages: int = 0
@@ -110,6 +130,34 @@ class BaseSDDSClient:
         self.network.local_compute(len(value) * self.sig_cpu_seconds_per_byte)
         return self.scheme.sign(value, strict=False)
 
+    def _result(self, op: str, status: OperationStatus, cost: _CostTracker,
+                record: Record | None = None,
+                records: tuple[Record, ...] = (),
+                forwards: int = 0) -> OperationResult:
+        """Build the :class:`OperationResult` and emit the ``sdds.*`` series.
+
+        This replaces the hand-threaded aggregation each experiment used
+        to do over result fields: the same numbers land once, labeled by
+        operation and outcome, in the metrics registry.  The result type
+        (and its per-op cost fields) is unchanged for callers.
+        """
+        registry = get_registry()
+        registry.counter("sdds.ops", op=op, status=status.value).inc()
+        registry.counter("sdds.messages", op=op).inc(cost.messages)
+        registry.counter("sdds.bytes", op=op).inc(cost.bytes)
+        if forwards:
+            registry.counter("sdds.forwards", op=op).inc(forwards)
+        if status is OperationStatus.PSEUDO:
+            registry.counter("sdds.pseudo_updates", op=op).inc()
+        elif status is OperationStatus.CONFLICT:
+            registry.counter("sdds.conflicts", op=op).inc()
+        registry.histogram("sdds.op_seconds", op=op).observe(cost.elapsed)
+        return OperationResult(
+            status=status, record=record, records=records,
+            messages=cost.messages, bytes=cost.bytes,
+            elapsed=cost.elapsed, forwards=forwards,
+        )
+
     # -- subclass responsibilities ------------------------------------
 
     def _locate(self, key: int, kind: str, payload: int) -> tuple[SDDSServer, int]:
@@ -135,10 +183,10 @@ class BaseSDDSClient:
                           messages.ack_payload())
         if ok:
             self._after_insert(server)
-        return OperationResult(
-            status="inserted" if ok else "duplicate",
-            messages=cost.messages, bytes=cost.bytes,
-            elapsed=cost.elapsed, forwards=forwards,
+        return self._result(
+            "insert",
+            OperationStatus.INSERTED if ok else OperationStatus.DUPLICATE,
+            cost, forwards=forwards,
         )
 
     def search(self, key: int) -> OperationResult:
@@ -150,10 +198,10 @@ class BaseSDDSClient:
         reply = messages.record_payload(len(record.value)) if record \
             else messages.ack_payload()
         self.network.send(server.name, self.name, messages.SEARCH_REPLY, reply)
-        return OperationResult(
-            status="found" if record else "missing", record=record,
-            messages=cost.messages, bytes=cost.bytes,
-            elapsed=cost.elapsed, forwards=forwards,
+        return self._result(
+            "search",
+            OperationStatus.FOUND if record else OperationStatus.MISSING,
+            cost, record=record, forwards=forwards,
         )
 
     def delete(self, key: int) -> OperationResult:
@@ -164,10 +212,10 @@ class BaseSDDSClient:
         record = server.delete(key)
         self.network.send(server.name, self.name, messages.DELETE_ACK,
                           messages.ack_payload())
-        return OperationResult(
-            status="deleted" if record else "missing", record=record,
-            messages=cost.messages, bytes=cost.bytes,
-            elapsed=cost.elapsed, forwards=forwards,
+        return self._result(
+            "delete",
+            OperationStatus.DELETED if record else OperationStatus.MISSING,
+            cost, record=record, forwards=forwards,
         )
 
     # -- the Section 2.2 update protocol --------------------------------
@@ -183,12 +231,9 @@ class BaseSDDSClient:
         sig_before = self._sign_with_cost(before_value)
         sig_after = self._sign_with_cost(after_value)
         if sig_before == sig_after:
-            return OperationResult(
-                status=UpdateStatus.PSEUDO,
-                messages=cost.messages, bytes=cost.bytes, elapsed=cost.elapsed,
-            )
+            return self._result("update_normal", OperationStatus.PSEUDO, cost)
         return self._send_conditional_update(
-            cost, key, after_value, sig_before, sig_after
+            "update_normal", cost, key, after_value, sig_before, sig_after
         )
 
     def update_blind(self, key: int, after_value: bytes) -> OperationResult:
@@ -209,22 +254,16 @@ class BaseSDDSClient:
             messages.signature_payload(self.scheme.signature_bytes),
         )
         if sig_current is None:
-            return OperationResult(
-                status=UpdateStatus.MISSING,
-                messages=cost.messages, bytes=cost.bytes,
-                elapsed=cost.elapsed, forwards=forwards,
-            )
+            return self._result("update_blind", OperationStatus.MISSING,
+                                cost, forwards=forwards)
         if sig_current == sig_after:
-            return OperationResult(
-                status=UpdateStatus.PSEUDO,
-                messages=cost.messages, bytes=cost.bytes,
-                elapsed=cost.elapsed, forwards=forwards,
-            )
+            return self._result("update_blind", OperationStatus.PSEUDO,
+                                cost, forwards=forwards)
         return self._send_conditional_update(
-            cost, key, after_value, sig_current, sig_after
+            "update_blind", cost, key, after_value, sig_current, sig_after
         )
 
-    def _send_conditional_update(self, cost: _CostTracker, key: int,
+    def _send_conditional_update(self, op: str, cost: _CostTracker, key: int,
                                  after_value: bytes, sig_before: Signature,
                                  sig_after: Signature) -> OperationResult:
         payload = messages.update_payload(len(after_value),
@@ -239,16 +278,13 @@ class BaseSDDSClient:
             len(after_value) * UPDATE_CPU_SECONDS_PER_BYTE
         )
         if outcome is UpdateOutcome.APPLIED:
-            kind, status = messages.UPDATE_ACK, UpdateStatus.APPLIED
+            kind, status = messages.UPDATE_ACK, OperationStatus.APPLIED
         elif outcome is UpdateOutcome.CONFLICT:
-            kind, status = messages.UPDATE_CONFLICT, UpdateStatus.CONFLICT
+            kind, status = messages.UPDATE_CONFLICT, OperationStatus.CONFLICT
         else:
-            kind, status = messages.UPDATE_CONFLICT, UpdateStatus.MISSING
+            kind, status = messages.UPDATE_CONFLICT, OperationStatus.MISSING
         self.network.send(server.name, self.name, kind, messages.ack_payload())
-        return OperationResult(
-            status=status, messages=cost.messages, bytes=cost.bytes,
-            elapsed=cost.elapsed, forwards=forwards,
-        )
+        return self._result(op, status, cost, forwards=forwards)
 
     # -- the Section 2.3 scan --------------------------------------------
 
@@ -279,10 +315,8 @@ class BaseSDDSClient:
             )
             matched.extend(r for r in candidates if pattern in r.value)
         matched.sort(key=lambda record: record.key)
-        return OperationResult(
-            status="scanned", records=tuple(matched),
-            messages=cost.messages, bytes=cost.bytes, elapsed=cost.elapsed,
-        )
+        return self._result("scan", OperationStatus.SCANNED, cost,
+                            records=tuple(matched))
 
     def scan_many(self, patterns: list[bytes]) -> dict[bytes, tuple[Record, ...]]:
         """Find all records containing each of several patterns.

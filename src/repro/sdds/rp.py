@@ -20,7 +20,12 @@ from ..errors import SDDSError
 from ..sig.scheme import AlgebraicSignatureScheme, make_scheme
 from ..sim.network import SimNetwork
 from . import messages
-from .client import BaseSDDSClient, OperationResult, _CostTracker
+from .client import (
+    BaseSDDSClient,
+    OperationResult,
+    OperationStatus,
+    _CostTracker,
+)
 from .record import KEY_BYTES, Record
 from .server import SDDSServer
 
@@ -213,10 +218,8 @@ class RPClient(BaseSDDSClient):
             )
             hits.extend(records)
         hits.sort(key=lambda record: record.key)
-        return OperationResult(
-            status="scanned", records=tuple(hits),
-            messages=cost.messages, bytes=cost.bytes, elapsed=cost.elapsed,
-        )
+        return self._result("range_search", OperationStatus.SCANNED, cost,
+                            records=tuple(hits))
 
     def _locate(self, key: int, kind: str, payload: int) -> tuple[RPServer, int]:
         guess = self._guess(key)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..errors import DuplicateKeyError, KeyNotFoundError
+from ..obs import get_registry
 from ..sig.rolling import find_signature_matches
 from ..gf.vectorized import all_window_signatures as _window_sigs
 from ..sig.scheme import AlgebraicSignatureScheme
@@ -148,6 +149,8 @@ class SDDSServer:
             return UpdateOutcome.MISSING
         if current != before_signature:
             self.stats.updates_rejected += 1
+            get_registry().counter("sdds.server.updates",
+                                   outcome="rejected").inc()
             return UpdateOutcome.CONFLICT
         self.bucket.update(key, after_value)
         if self.store_signatures:
@@ -155,6 +158,7 @@ class SDDSServer:
                 after_signature = self._compute_signature(after_value)
             self._stored_sigs[key] = after_signature
         self.stats.updates_applied += 1
+        get_registry().counter("sdds.server.updates", outcome="applied").inc()
         return UpdateOutcome.APPLIED
 
     # ------------------------------------------------------------------
@@ -178,6 +182,7 @@ class SDDSServer:
             if self._value_matches(record.value, target, window_symbols, alignments):
                 hits.append(record)
         self.stats.scan_candidates += len(hits)
+        get_registry().counter("sdds.server.scan_candidates").inc(len(hits))
         return hits
 
     def _value_matches(self, value: bytes, target: Signature,

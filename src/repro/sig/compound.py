@@ -82,6 +82,7 @@ class SignatureMap:
         signatures = []
         total = 0
         for page in slice_pages(scheme, data, page_symbols):
+            scheme._count_signed(page.symbols.size, "mapped")
             signatures.append(scheme.sign_mapped(page.symbols))
             total += page.length
         return cls(scheme, page_symbols, signatures, total)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import SignatureError
 from ..gf.vectorized import scale
+from ..obs import get_registry
 from .algebra import concat_all
 from .scheme import AlgebraicSignatureScheme
 from .signature import Signature
@@ -64,7 +65,11 @@ class ChunkedSigner:
         respects it (this is the compound-signature argument of
         Section 4.2 applied to one logical signature).
         """
-        signature, _total = concat_all(self.scheme, self.chunk_signatures(page))
+        chunks = self.chunk_signatures(page)
+        registry = get_registry()
+        registry.counter("sig.fast.full_recomputes").inc()
+        registry.counter("sig.fast.chunks_signed").inc(len(chunks))
+        signature, _total = concat_all(self.scheme, chunks)
         return signature
 
     def resign(self, chunks: list[tuple[Signature, int]], chunk_index: int,
@@ -79,6 +84,9 @@ class ChunkedSigner:
         new_symbols = self.scheme.to_symbols(new_chunk)
         if new_symbols.size != chunks[chunk_index][1]:
             raise SignatureError("replacement chunk must keep its length")
+        registry = get_registry()
+        registry.counter("sig.fast.incremental_recomputes").inc()
+        registry.counter("sig.fast.chunks_signed").inc()
         updated = list(chunks)
         updated[chunk_index] = (self.scheme.sign(new_symbols), new_symbols.size)
         signature, _total = concat_all(self.scheme, updated)
@@ -117,6 +125,7 @@ class PairedTableSigner:
         symbols = self.scheme.to_symbols(page)
         if symbols.size > self.scheme.max_page_symbols:
             raise SignatureError("page exceeds the certainty bound")
+        self.scheme._count_signed(symbols.size, "paired")
         odd_tail = symbols.size % 2
         if odd_tail:
             symbols = np.concatenate([symbols, np.zeros(1, dtype=np.int64)])

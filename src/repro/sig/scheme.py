@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import PageTooLongError, SignatureError
 from ..gf.field import GF, GField
 from ..gf.vectorized import as_symbol_array, signature_vector
+from ..obs import get_registry
 from .base import STANDARD, SignatureBase, make_base
 from .signature import SchemeId, Signature
 
@@ -60,6 +61,31 @@ class AlgebraicSignatureScheme:
             exponents=self.base.exponents,
             variant=variant,
         )
+        self._obs_labels = {"field": f"gf{field.f}", "variant": variant}
+        self._obs_registry = None
+        self._obs_handles: dict = {}
+
+    def _count_signed(self, symbols: int, algo: str) -> None:
+        """Emit ``sig.sign_calls`` / ``sig.bytes_signed`` for one signing.
+
+        Handles are cached per (registry, algo) so the hot vectorized
+        path pays two dict probes, not a registry lookup, per call.
+        """
+        registry = get_registry()
+        if registry is not self._obs_registry:
+            self._obs_registry = registry
+            self._obs_handles = {}
+        handles = self._obs_handles.get(algo)
+        if handles is None:
+            handles = (
+                registry.counter("sig.sign_calls", algo=algo,
+                                 **self._obs_labels),
+                registry.counter("sig.bytes_signed", algo=algo,
+                                 **self._obs_labels),
+            )
+            self._obs_handles[algo] = handles
+        handles[0].inc()
+        handles[1].inc(symbols * self.scheme_id.symbol_bytes)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,6 +152,7 @@ class AlgebraicSignatureScheme:
                 f"{self.max_page_symbols} for GF(2^{self.field.f}); "
                 "use a SignatureMap (compound signature) for longer data"
             )
+        self._count_signed(symbols.size, "vector")
         return self.sign_mapped(symbols)
 
     def sign_mapped(self, symbols: np.ndarray) -> Signature:
@@ -153,6 +180,7 @@ class AlgebraicSignatureScheme:
                 f"page of {symbols.size} symbols exceeds the certainty bound "
                 f"{self.max_page_symbols} for GF(2^{self.field.f})"
             )
+        self._count_signed(symbols.size, "scalar")
         field = self.field
         order = field.order
         log_table = field.log_table

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import BackupError
+from ..obs import MetricsRegistry, get_registry
 from .clock import SimClock
 from .stats import DiskStats
 
@@ -48,10 +49,15 @@ class SimDisk:
 
     def __init__(self, clock: SimClock | None = None,
                  model: DiskModel | None = None,
-                 backing_dir: str | Path | None = None):
+                 backing_dir: str | Path | None = None,
+                 registry: MetricsRegistry | None = None):
         self.clock = clock if clock is not None else SimClock()
         self.model = model if model is not None else DiskModel()
         self.stats = DiskStats()
+        #: Pinned metrics registry; None follows the process-wide one.
+        self.registry = registry
+        self._obs_registry: MetricsRegistry | None = None
+        self._obs_handles: tuple = ()
         self._pages: dict[tuple[str, int], bytes] = {}
         self._page_sizes: dict[str, int] = {}
         self.backing_dir = Path(backing_dir) if backing_dir is not None else None
@@ -74,6 +80,9 @@ class SimDisk:
         self._pages[(volume, index)] = bytes(data)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        writes, bytes_written, _reads, _bytes_read = self._obs()
+        writes.inc()
+        bytes_written.inc(len(data))
         if self.backing_dir is not None:
             self._persist_page(volume, index, data, page_size)
         return elapsed
@@ -87,7 +96,23 @@ class SimDisk:
         self.clock.advance(self.model.read_time(len(data)))
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
+        _writes, _bytes_written, reads, bytes_read = self._obs()
+        reads.inc()
+        bytes_read.inc(len(data))
         return data
+
+    def _obs(self) -> tuple:
+        """Cached ``disk.*`` counter handles on the active registry."""
+        registry = self.registry if self.registry is not None else get_registry()
+        if registry is not self._obs_registry:
+            self._obs_registry = registry
+            self._obs_handles = (
+                registry.counter("disk.writes"),
+                registry.counter("disk.bytes_written"),
+                registry.counter("disk.reads"),
+                registry.counter("disk.bytes_read"),
+            )
+        return self._obs_handles
 
     def has_page(self, volume: str, index: int) -> bool:
         """True if the page exists on disk."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import MetricsRegistry, get_registry
 from .clock import SimClock
 from .stats import TrafficStats
 
@@ -41,11 +42,30 @@ class SimNetwork:
     """
 
     def __init__(self, clock: SimClock | None = None,
-                 model: NetworkModel | None = None):
+                 model: NetworkModel | None = None,
+                 registry: MetricsRegistry | None = None):
         self.clock = clock if clock is not None else SimClock()
         self.model = model if model is not None else NetworkModel()
         self.stats = TrafficStats()
         self.per_node: dict[str, TrafficStats] = {}
+        #: Pinned metrics registry; None follows the process-wide one.
+        self.registry = registry
+        self._obs_registry: MetricsRegistry | None = None
+        self._obs_by_kind: dict = {}
+
+    def _emit(self, kind: str, payload_bytes: int) -> None:
+        """Emit ``net.*`` series; per-kind handles are cached for speed."""
+        registry = self.registry if self.registry is not None else get_registry()
+        if registry is not self._obs_registry:
+            self._obs_registry = registry
+            self._obs_by_kind = {}
+        handles = self._obs_by_kind.get(kind)
+        if handles is None:
+            handles = (registry.counter("net.messages", kind=kind),
+                       registry.counter("net.bytes", kind=kind))
+            self._obs_by_kind[kind] = handles
+        handles[0].inc()
+        handles[1].inc(payload_bytes)
 
     def send(self, source: str, destination: str, kind: str, payload_bytes: int) -> float:
         """Account one message and advance the clock; returns elapsed seconds."""
@@ -54,6 +74,7 @@ class SimNetwork:
         elapsed = self.model.transfer_time(payload_bytes)
         self.clock.advance(elapsed)
         self.stats.record(kind, payload_bytes)
+        self._emit(kind, payload_bytes)
         self.per_node.setdefault(source, TrafficStats()).record(
             f"out:{kind}", payload_bytes
         )

@@ -1,15 +1,26 @@
 """Traffic and operation counters shared by the simulated SDDS substrates.
 
 The update experiments (E6) and the backup experiments (E5) are largely
-*accounting* results -- bytes not shipped, pages not written.  Keeping
-the counters in one place makes every protocol's savings directly
-comparable.
+*accounting* results -- bytes not shipped, pages not written.  These
+per-endpoint counters give protocol code a cheap local delta view (the
+client's per-operation cost tracking); the global, cross-subsystem
+accounting additionally lands in the :mod:`repro.obs` metrics registry,
+emitted by :class:`repro.sim.network.SimNetwork` and
+:class:`repro.sim.disk.SimDisk` themselves.
+
+Both counter classes implement the :class:`repro.obs.Snapshotable`
+protocol: ``snapshot()`` returns a plain dict with deterministic key
+ordering, so report JSON diffs cleanly between runs.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+
+from ..obs import Snapshotable
+
+__all__ = ["TrafficStats", "DiskStats", "Snapshotable"]
 
 
 @dataclass
@@ -33,11 +44,12 @@ class TrafficStats:
         self.by_kind.clear()
 
     def snapshot(self) -> dict:
-        """Plain-dict view for reports."""
+        """Plain-dict view for reports (deterministic key order)."""
         return {
-            "messages": self.messages,
             "bytes": self.bytes,
-            "by_kind": dict(self.by_kind),
+            "by_kind": {kind: self.by_kind[kind]
+                        for kind in sorted(self.by_kind)},
+            "messages": self.messages,
         }
 
 
@@ -58,10 +70,10 @@ class DiskStats:
         self.bytes_written = 0
 
     def snapshot(self) -> dict:
-        """Plain-dict view for reports."""
+        """Plain-dict view for reports (deterministic key order)."""
         return {
-            "reads": self.reads,
-            "writes": self.writes,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "reads": self.reads,
+            "writes": self.writes,
         }

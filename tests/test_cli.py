@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.obs import SCHEMA
 
 
 class TestCLI:
@@ -34,3 +37,62 @@ class TestCLI:
     def test_unknown_command(self, capsys):
         assert main(["frobnicate"]) == 2
         assert "Commands" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_table(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        for section in ("== sig ==", "== net ==", "== disk ==",
+                        "== sdds ==", "== backup ==", "== parity ==",
+                        "== spans =="):
+            assert section in out
+        assert "source=demo" in out
+
+    def test_report_json_schema(self, capsys):
+        assert main(["report", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == SCHEMA
+        assert document["meta"] == {"source": "demo"}
+        prefixes = {name.split(".", 1)[0] for name in document["metrics"]}
+        assert {"sig", "net", "disk", "sdds", "backup", "parity"} <= prefixes
+        assert document["spans"]  # demo workload traces its phases
+
+    def test_report_json_is_deterministic(self, capsys):
+        assert main(["report", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_report_runs_script(self, capsys, tmp_path):
+        script = tmp_path / "workload.py"
+        script.write_text(
+            "from repro import make_scheme\n"
+            "print('script ran')\n"
+            "make_scheme().sign(b'abcdefgh')\n"
+        )
+        assert main(["report", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "script ran" in out
+        assert "sig.bytes_signed" in out
+        assert "source=workload.py" in out
+
+    def test_report_json_suppresses_script_stdout(self, capsys, tmp_path):
+        script = tmp_path / "noisy.py"
+        script.write_text(
+            "from repro import make_scheme\n"
+            "print('NOISE')\n"
+            "make_scheme().sign(b'abcd')\n"
+        )
+        assert main(["report", str(script), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "NOISE" not in out
+        json.loads(out)  # the document parses cleanly
+
+    def test_report_missing_script(self, capsys):
+        assert main(["report", "does-not-exist.py"]) == 2
+        assert "no such script" in capsys.readouterr().err
+
+    def test_report_too_many_arguments(self, capsys):
+        assert main(["report", "a.py", "b.py"]) == 2
+        assert "usage" in capsys.readouterr().err
