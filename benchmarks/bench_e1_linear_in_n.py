@@ -76,6 +76,9 @@ def test_e1_report(benchmark, report_table):
     for times in times_by_n.values():
         assert times[4] > times[1] * 0.8
         assert times[4] < 8 * times[1]
-    mean = lambda n: sum(t[n] for t in times_by_n.values()) / len(times_by_n)
+
+    def mean(n):
+        return sum(t[n] for t in times_by_n.values()) / len(times_by_n)
+
     assert mean(4) > mean(1) * 1.2
     assert mean(2) < mean(4)

@@ -15,7 +15,7 @@ Sweeps:
 """
 
 import numpy as np
-from repro.backup import BackupEngine, CpuModel
+from repro.backup import BackupEngine
 from repro.sig import make_scheme
 from repro.sim import DiskModel, SimClock, SimDisk
 from repro.workloads import make_page

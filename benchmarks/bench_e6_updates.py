@@ -17,7 +17,7 @@ operation plus the measured savings.  Shape checks: pseudo-updates save
 ship no record in either direction.
 """
 
-from repro.sdds import LHFile, Record, UpdateStatus
+from repro.sdds import LHFile, UpdateStatus
 from repro.sig import make_scheme
 from repro.sim import NetworkModel, SimNetwork
 from repro.workloads import make_records

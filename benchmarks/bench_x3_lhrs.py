@@ -13,7 +13,7 @@ Two design studies DESIGN.md calls out:
 import numpy as np
 
 from repro.parity import LHRSStore
-from repro.sdds import LHFile, Record, UpdateStatus
+from repro.sdds import LHFile, UpdateStatus
 from repro.sig import make_scheme
 from repro.workloads import make_records
 

@@ -1,0 +1,75 @@
+"""X4 -- cluster goodput vs fault rate (extension, not in the paper).
+
+Sweeps the per-link message-drop probability over a 4-server
+fault-injected cluster and reports goodput (operations completed per
+simulated second), retry amplification, and corruption-detection
+accounting.  The interesting shape: goodput degrades smoothly with the
+fault rate because retries absorb the loss, and the signature seal
+detects every injected corruption at every rate -- the paper's detection
+guarantee costs 4 bytes per message regardless of how hostile the
+network is.
+"""
+
+from repro.cluster import Cluster, FaultPlan, RetryPolicy
+from repro.obs import MetricsRegistry, use_registry
+
+SERVERS = 4
+OPS = 60
+CORRUPT = 0.01
+
+
+def run_workload(drop: float, corrupt: float = CORRUPT, seed: int = 7):
+    """Run a fixed workload at one drop rate; returns (registry, cluster)."""
+    with use_registry(MetricsRegistry()) as registry:
+        plan = FaultPlan.lossy(drop=drop, corrupt=corrupt, jitter=100e-6)
+        cluster = Cluster(servers=SERVERS, seed=seed, plan=plan,
+                          retry=RetryPolicy.patient())
+        client = cluster.client()
+        results = [client.insert(key, f"record {key}".encode() * 4)
+                   for key in range(OPS)]
+        results += [client.search(key) for key in range(0, OPS, 3)]
+        cluster.settle()
+        assert all(result.ok for result in results)
+        return registry, cluster, len(results)
+
+
+def test_clean_network_goodput(benchmark):
+    registry, cluster, operations = benchmark.pedantic(
+        lambda: run_workload(drop=0.0, corrupt=0.0), rounds=3)[:3]
+    assert registry.total("cluster.retries") == 0
+    assert cluster.converged()
+
+
+def test_x4_report(benchmark, report_table):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for drop in (0.0, 0.05, 0.10, 0.20, 0.30):
+        registry, cluster, operations = run_workload(drop)
+        elapsed = cluster.clock.now
+        goodput = operations / elapsed
+        injected = cluster.faulty_network.injected
+        detected = int(registry.total("cluster.corruptions_detected"))
+        assert injected.get("corrupt", 0) == detected
+        rows.append([
+            f"{drop:.0%}",
+            operations,
+            int(registry.total("cluster.retries")),
+            f"{elapsed * 1e3:.1f}",
+            f"{goodput:,.0f}",
+            f"{injected.get('corrupt', 0)}/{detected}",
+            cluster.converged(),
+        ])
+    report_table(
+        "X4: 4-server cluster goodput vs message-drop rate",
+        ["drop", "ops", "retries", "sim ms", "ops/s",
+         "corrupt inj/det", "converged"],
+        rows,
+        notes="every operation succeeds at every fault rate; retries "
+              "absorb the loss and the 4-byte seal catches every "
+              "corruption",
+    )
+    # Shape: goodput monotonically suffers as the network degrades, but
+    # nothing ever fails and every run converges.
+    goodputs = [float(row[4].replace(",", "")) for row in rows]
+    assert goodputs[0] > goodputs[-1]
+    assert all(row[6] for row in rows)

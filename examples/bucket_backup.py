@@ -17,7 +17,7 @@ import random
 
 from repro import make_scheme
 from repro.backup import BackupEngine, DirtyBitBackupEngine, DirtyBitTracker
-from repro.sdds import LHFile, Record
+from repro.sdds import LHFile
 from repro.sim import DiskModel, SimDisk
 from repro.workloads import make_records
 

@@ -15,9 +15,8 @@ Run:  python examples/concurrent_updates.py
 """
 
 from repro import make_scheme
-from repro.sdds import LHFile, Record, UpdateStatus
+from repro.sdds import LHFile, Record
 from repro.updates import (
-    CommitOutcome,
     SignatureManager,
     TrustworthyManager,
     lost_update_race,

@@ -57,8 +57,8 @@ def transaction_demo():
     store.insert(2, b"savings:5000")
 
     transfer = ReadSetTransaction(scheme, store)
-    checking = transfer.read(1)
-    savings = transfer.read(2)
+    transfer.read(1)
+    transfer.read(2)
     transfer.write(1, b"checking:0900")
     transfer.write(2, b"savings:5100")
     print(f"   read set held as {transfer.read_set_bytes} bytes of signatures")

@@ -13,6 +13,10 @@ Commands:
                      built-in demo touching every subsystem) under a
                      fresh metrics registry and print the observability
                      run report (table, or stable JSON with ``--json``)
+* ``cluster [--json] [--seed N]`` -- run the fault-injected cluster
+                     demo (unreliable network, retries, a crash with
+                     signature-driven recovery) and print its run
+                     report; identical seeds yield identical JSON
 """
 
 from __future__ import annotations
@@ -174,6 +178,62 @@ def _report(arguments: list[str]) -> int:
     return 0
 
 
+def _cluster(arguments: list[str]) -> int:
+    """Run the fault-injected cluster demo and print its run report."""
+    from repro.cluster import Cluster, Crash, FaultPlan, RetryPolicy
+    from repro.obs import MetricsRegistry, RunReport, use_registry
+
+    as_json = "--json" in arguments
+    rest = [a for a in arguments if a != "--json"]
+    seed = 42
+    if rest and rest[0] == "--seed":
+        if len(rest) < 2:
+            print("usage: python -m repro cluster [--json] [--seed N]",
+                  file=sys.stderr)
+            return 2
+        seed = int(rest[1])
+        rest = rest[2:]
+    if rest:
+        print("usage: python -m repro cluster [--json] [--seed N]",
+              file=sys.stderr)
+        return 2
+    lossy = FaultPlan.lossy(drop=0.10, corrupt=0.005)
+    plan = FaultPlan(default=lossy.default,
+                     crashes=(Crash("node1", at=0.05, recover_at=0.12),))
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cluster = Cluster(servers=4, seed=seed, plan=plan,
+                          retry=RetryPolicy.patient())
+        client = cluster.client()
+        results = [client.insert(key, f"record {key}".encode() * 4)
+                   for key in range(80)]
+        results += [client.update(key, f"updated {key}".encode() * 3)
+                    for key in range(0, 80, 3)]
+        results += [client.search(key) for key in range(0, 80, 5)]
+        cluster.settle()
+        cluster.check_replicas()
+    failed = sum(1 for result in results if not result.ok)
+    injected = cluster.faulty_network.injected.get("corrupt", 0)
+    detected = registry.total("cluster.corruptions_detected")
+    report = RunReport(registry, meta={"source": "cluster-demo",
+                                       "seed": str(seed)})
+    if as_json:
+        print(report.to_json())
+    else:
+        print(f"fault-injected cluster, seed {seed}: "
+              f"{len(results)} operations over 4 servers")
+        print(f"  failed operations:     {failed}")
+        print(f"  corruptions injected:  {injected}")
+        print(f"  corruptions detected:  {detected} "
+              "(signature seal, 0 silent acceptances)")
+        print(f"  replicas converged:    {cluster.converged()}")
+        print()
+        print(report.render())
+    if failed or injected != detected:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a CLI command; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -185,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         "examples": lambda: _examples(),
         "recommend": lambda: _recommend(argv[1:]),
         "report": lambda: _report(argv[1:]),
+        "cluster": lambda: _cluster(argv[1:]),
     }
     if command not in handlers:
         print(__doc__, file=sys.stderr)

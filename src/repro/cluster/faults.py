@@ -1,0 +1,125 @@
+"""Seeded fault plans: what goes wrong, where, and when.
+
+The fault taxonomy the SDDS cluster runtime injects -- the adversity
+against which the paper's signatures earn their keep -- all
+deterministic functions of a run seed:
+
+* **link faults** (:class:`LinkFaults`) -- per-link probabilities for
+  message drop, duplication, payload byte-corruption, delay jitter, and
+  explicit reordering (an extra hold-back delay letting later messages
+  overtake);
+* **partitions** (:class:`Partition`) -- node groups that cannot reach
+  each other during ``[start, heal_at)``; partitions heal at a
+  scheduled time rather than lingering forever;
+* **crashes** (:class:`Crash`) -- a node loses its volatile state at
+  ``at`` and begins recovery at ``recover_at``.
+
+:class:`FaultPlan` bundles the three and hands out per-link policies;
+the per-link random streams themselves live in
+:class:`~repro.cluster.network.FaultyNetwork`, seeded from the plan's
+run seed plus the link name so that adding a link never perturbs the
+draws of another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """Fault probabilities and delay noise for one directed link."""
+
+    drop: float = 0.0        #: P(message silently lost)
+    duplicate: float = 0.0   #: P(message delivered twice)
+    corrupt: float = 0.0     #: P(one payload byte flipped in transit)
+    jitter: float = 0.0      #: max uniform extra delay (s)
+    reorder: float = 0.0     #: P(held back by ``reorder_delay``)
+    reorder_delay: float = 2e-3  #: hold-back applied on a reorder hit (s)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} probability {value} outside [0, 1]")
+        if self.jitter < 0 or self.reorder_delay < 0:
+            raise ValueError("delays cannot be negative")
+
+    @property
+    def is_clean(self) -> bool:
+        """True when this link never misbehaves (the fast path)."""
+        return (self.drop == 0.0 and self.duplicate == 0.0
+                and self.corrupt == 0.0 and self.jitter == 0.0
+                and self.reorder == 0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """Node groups mutually unreachable during ``[start, heal_at)``.
+
+    Nodes absent from every group form one implicit extra group, so a
+    two-way split needs only the minority side spelled out.
+    """
+
+    start: float
+    heal_at: float
+    groups: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.heal_at <= self.start:
+            raise ValueError("partition must heal after it starts")
+
+    def _group_of(self, node: str) -> int:
+        for index, group in enumerate(self.groups):
+            if node in group:
+                return index
+        return -1
+
+    def severs(self, now: float, a: str, b: str) -> bool:
+        """True when the partition blocks ``a -> b`` traffic at ``now``."""
+        if not self.start <= now < self.heal_at:
+            return False
+        return self._group_of(a) != self._group_of(b)
+
+
+@dataclass(frozen=True, slots=True)
+class Crash:
+    """One scheduled node failure: volatile state lost at ``at``."""
+
+    node: str
+    at: float
+    recover_at: float
+
+    def __post_init__(self) -> None:
+        if self.recover_at <= self.at:
+            raise ValueError("a crash must recover after it happens")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one cluster run."""
+
+    default: LinkFaults = field(default_factory=LinkFaults)
+    #: Per-directed-link overrides, keyed by (source, destination).
+    links: dict = field(default_factory=dict)
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[Crash, ...] = ()
+
+    def link(self, source: str, destination: str) -> LinkFaults:
+        """The fault policy governing ``source -> destination``."""
+        return self.links.get((source, destination), self.default)
+
+    def severed(self, now: float, source: str, destination: str) -> bool:
+        """True when any partition blocks the link at ``now``."""
+        return any(p.severs(now, source, destination)
+                   for p in self.partitions)
+
+    @classmethod
+    def lossy(cls, drop: float = 0.1, corrupt: float = 0.001,
+              jitter: float = 200e-6, duplicate: float = 0.0,
+              reorder: float = 0.0) -> "FaultPlan":
+        """The acceptance-scenario plan: every link equally unreliable."""
+        return cls(default=LinkFaults(
+            drop=drop, duplicate=duplicate, corrupt=corrupt,
+            jitter=jitter, reorder=reorder,
+        ))

@@ -1,0 +1,264 @@
+"""One cluster node: SDDS bucket, bucket image, hosted mirror, lifecycle.
+
+A :class:`ClusterNode` owns three things:
+
+* an :class:`~repro.sdds.server.SDDSServer` bucket holding the records
+  whose keys hash to it -- the primary copy clients talk to;
+* a page-image :class:`~repro.sync.Replica` of that bucket (the
+  serialized record set), whose changed pages are shipped *best effort*
+  to the next node's hosted mirror after every mutation -- lost or
+  corrupted mirror updates are exactly the divergence the anti-entropy
+  pass later detects and repairs by signature;
+* the **hosted mirror**: the previous node's bucket image, kept so a
+  crashed neighbour's state survives somewhere.
+
+The node lifecycle is ``UP -> CRASHED -> RECOVERING -> UP``: a crash
+wipes every volatile structure (bucket, image, mirror, RPC reply
+cache); recovery is driven by the cluster runtime, which reconstructs
+the bucket from the LH*RS parity group and re-converges both mirror
+relationships with :func:`repro.sync.sync_by_tree`.
+
+RPC handling is at-least-once with replay: requests are deduplicated by
+``request_id`` and answered from a reply cache, so a retried operation
+whose first attempt *did* execute returns its original answer instead
+of executing twice.  Every incoming payload is signature-verified
+before anything else -- a corrupted transfer is counted and discarded,
+never half-parsed.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+
+from ..obs import get_registry
+from ..sdds.record import Record
+from ..sdds.server import SDDSServer
+from ..sig.scheme import AlgebraicSignatureScheme
+from ..sync import Replica
+from . import wire
+
+#: Bucket-image header: record count.  Keeps the image non-empty for
+#: signature-tree building and makes truncation corruption detectable.
+_IMAGE_HEADER = struct.Struct("<Q")
+_RECORD_HEADER = struct.Struct("<II")  # value length, key
+
+#: Message kinds on the cluster wire (TrafficStats / net.* categories).
+REQUEST_KINDS = {wire.OP_INSERT: "c_insert", wire.OP_SEARCH: "c_search",
+                 wire.OP_UPDATE: "c_update", wire.OP_DELETE: "c_delete"}
+REPLY_KIND = "c_reply"
+MIRROR_KIND = "c_mirror_page"
+
+
+class NodeState(Enum):
+    """Lifecycle state of a cluster node."""
+
+    UP = "up"
+    CRASHED = "crashed"
+    RECOVERING = "recovering"
+
+
+def serialize_bucket(server: SDDSServer) -> bytes:
+    """The node's bucket as a canonical byte image (sorted by key)."""
+    parts = []
+    count = 0
+    for key in sorted(server.bucket.keys()):
+        record = server.bucket.get(key)
+        parts.append(_RECORD_HEADER.pack(len(record.value), record.key))
+        parts.append(record.value)
+        count += 1
+    return _IMAGE_HEADER.pack(count) + b"".join(parts)
+
+
+def deserialize_bucket(image: bytes) -> list[Record]:
+    """Inverse of :func:`serialize_bucket`."""
+    count, = _IMAGE_HEADER.unpack_from(image)
+    offset = _IMAGE_HEADER.size
+    records = []
+    for _ in range(count):
+        value_len, key = _RECORD_HEADER.unpack_from(image, offset)
+        offset += _RECORD_HEADER.size
+        records.append(Record(key, image[offset:offset + value_len]))
+        offset += value_len
+    return records
+
+
+class ClusterNode:
+    """One server node of the fault-injected cluster."""
+
+    def __init__(self, index: int, cluster, scheme: AlgebraicSignatureScheme,
+                 page_bytes: int, capacity_records: int = 1 << 20):
+        self.index = index
+        self.cluster = cluster
+        self.scheme = scheme
+        self.page_bytes = page_bytes
+        self.capacity_records = capacity_records
+        self.state = NodeState.UP
+        self.server = SDDSServer(index, scheme,
+                                 capacity_records=capacity_records,
+                                 store_signatures=True)
+        self.image = Replica(f"{self.name}.image", scheme,
+                             serialize_bucket(self.server), page_bytes)
+        #: Hosted copy of the previous node's bucket image.
+        self.mirror: Replica | None = None
+        #: request_id -> sealed reply bytes (at-least-once replay).
+        self._reply_cache: dict[int, bytes] = {}
+
+    @property
+    def name(self) -> str:
+        """Network node name."""
+        return f"node{self.index}"
+
+    @property
+    def is_up(self) -> bool:
+        """True when the node serves traffic."""
+        return self.state is NodeState.UP
+
+    def make_mirror(self, source_name: str, data: bytes = b"") -> Replica:
+        """(Re)create the hosted mirror replica, initially ``data``."""
+        self.mirror = Replica(f"{self.name}.mirror[{source_name}]",
+                              self.scheme, data or _IMAGE_HEADER.pack(0),
+                              self.page_bytes)
+        return self.mirror
+
+    # ------------------------------------------------------------------
+    # RPC handling
+    # ------------------------------------------------------------------
+
+    def receive_request(self, data: bytes) -> None:
+        """Handle one delivered client request payload."""
+        body = wire.unseal(self.scheme, data)
+        registry = get_registry()
+        if body is None:
+            registry.counter("cluster.corruptions_detected",
+                             where="request").inc()
+            return
+        if not self.is_up:
+            registry.counter("cluster.down_drops", node=self.name).inc()
+            return
+        op, request_id, key, value = wire.decode_request(body)
+        cached = self._reply_cache.get(request_id)
+        if cached is None:
+            status, reply_value = self._execute(op, key, value)
+            reply = wire.encode_reply(status, request_id, reply_value)
+            cached = wire.seal(self.scheme, reply)
+            self._reply_cache[request_id] = cached
+        else:
+            registry.counter("cluster.rpc_replays", node=self.name).inc()
+        client = self.cluster.client_for_request(request_id)
+        self.cluster.faulty_network.transmit(
+            self.name, client.name, REPLY_KIND, cached, client.receive_reply
+        )
+
+    def _execute(self, op: int, key: int, value: bytes) -> tuple[int, bytes]:
+        """Apply one operation to bucket + parity; returns (status, value)."""
+        if op == wire.OP_SEARCH:
+            record = self.server.search(key)
+            if record is None:
+                return wire.ST_MISSING, b""
+            return wire.ST_FOUND, record.value
+        before = self.image_bytes()
+        if op == wire.OP_INSERT:
+            ok = self.server.insert(Record(key, value))
+            if not ok:
+                return wire.ST_DUPLICATE, b""
+            self.cluster.parity.insert(key, value)
+            status: tuple[int, bytes] = (wire.ST_INSERTED, b"")
+        elif op == wire.OP_UPDATE:
+            current = self.server.search(key)
+            if current is None:
+                return wire.ST_MISSING, b""
+            # Pseudo-update filtering at the server (Section 2.2's
+            # economics): identical signatures mean nothing to write,
+            # no parity delta, no mirror traffic.
+            if self.scheme.sign(current.value, strict=False) == \
+                    self.scheme.sign(value, strict=False):
+                get_registry().counter("cluster.pseudo_updates").inc()
+                return wire.ST_APPLIED, b""
+            self.server.bucket.update(key, value)
+            self.cluster.parity.update(key, value)
+            status = (wire.ST_APPLIED, b"")
+        elif op == wire.OP_DELETE:
+            record = self.server.delete(key)
+            if record is None:
+                return wire.ST_MISSING, b""
+            self.cluster.parity.delete(key)
+            status = (wire.ST_DELETED, b"")
+        else:
+            raise wire.WireError(f"unroutable operation {op}")
+        self.refresh_image(send_mirror_updates=True, previous=before)
+        return status
+
+    # ------------------------------------------------------------------
+    # Bucket image and mirror shipping
+    # ------------------------------------------------------------------
+
+    def image_bytes(self) -> bytes:
+        """The current bucket image bytes."""
+        return bytes(self.image.data)
+
+    def refresh_image(self, send_mirror_updates: bool = False,
+                      previous: bytes | None = None) -> None:
+        """Re-serialize the bucket; optionally ship changed pages.
+
+        Mirror updates are *best effort*: they ride the faulty network
+        with no retry, so drops and detected corruptions leave the
+        mirror stale until the next anti-entropy pass.
+        """
+        if previous is None:
+            previous = self.image_bytes()
+        current = serialize_bucket(self.server)
+        self.image.data[:] = current
+        if not send_mirror_updates or current == previous:
+            return
+        host = self.cluster.mirror_host(self.index)
+        pages = max(len(current), len(previous))
+        pages = (pages + self.page_bytes - 1) // self.page_bytes
+        for index in range(pages):
+            lo, hi = index * self.page_bytes, (index + 1) * self.page_bytes
+            if current[lo:hi] == previous[lo:hi]:
+                continue
+            body = wire.encode_mirror(len(current), index, current[lo:hi])
+            self.cluster.faulty_network.transmit(
+                self.name, host.name, MIRROR_KIND,
+                wire.seal(self.scheme, body), host.receive_mirror,
+            )
+            get_registry().counter("cluster.mirror_pages",
+                                   source=self.name).inc()
+
+    def receive_mirror(self, data: bytes) -> None:
+        """Apply one delivered mirror page update to the hosted mirror."""
+        body = wire.unseal(self.scheme, data)
+        registry = get_registry()
+        if body is None:
+            registry.counter("cluster.corruptions_detected",
+                             where="mirror").inc()
+            return
+        if not self.is_up or self.mirror is None:
+            registry.counter("cluster.down_drops", node=self.name).inc()
+            return
+        image_len, page_index, page = wire.decode_mirror(body)
+        self.mirror.write_page(page_index, page)
+        if len(self.mirror.data) > image_len:
+            del self.mirror.data[image_len:]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state; traffic is dropped until recovery."""
+        self.state = NodeState.CRASHED
+        self.server = SDDSServer(self.index, self.scheme,
+                                 capacity_records=self.capacity_records,
+                                 store_signatures=True)
+        self.image = Replica(f"{self.name}.image", self.scheme,
+                             serialize_bucket(self.server), self.page_bytes)
+        self.mirror = None
+        self._reply_cache.clear()
+
+    def rebuild_from(self, records: list[Record]) -> None:
+        """Repopulate the bucket (recovery path); refreshes the image."""
+        for record in records:
+            self.server.insert(record)
+        self.refresh_image()

@@ -1,0 +1,57 @@
+"""Timeout and retry policy for cluster RPCs.
+
+An SDDS operation on an unreliable network is a loop: send, wait up to
+a timeout, retry with exponential backoff (plus deterministic jitter so
+synchronized clients do not stampede a recovering server), give up
+after a capped number of attempts.  The policy object is pure
+arithmetic -- the event loop does the waiting -- so the timeout ladder
+is unit-testable and identical across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt of an operation timed out."""
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Capped exponential backoff with proportional jitter."""
+
+    timeout: float = 5e-3       #: first-attempt timeout (s)
+    backoff: float = 2.0        #: timeout multiplier per retry
+    max_timeout: float = 0.25   #: ceiling on any single attempt (s)
+    max_attempts: int = 8       #: total tries before giving up
+    jitter: float = 0.1         #: extra fraction of the timeout, in [0, j)
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0 or self.max_timeout < self.timeout:
+            raise ValueError("need 0 < timeout <= max_timeout")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter fraction outside [0, 1]")
+
+    def timeout_for(self, attempt: int,
+                    rng: random.Random | None = None) -> float:
+        """Seconds to wait on the ``attempt``-th try (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt index cannot be negative")
+        base = min(self.timeout * self.backoff ** attempt, self.max_timeout)
+        if rng is None or not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
+
+    @classmethod
+    def patient(cls, max_attempts: int = 25) -> "RetryPolicy":
+        """A high-cap policy for adversarial fault plans (tests)."""
+        return cls(timeout=5e-3, backoff=1.6, max_timeout=0.1,
+                   max_attempts=max_attempts)

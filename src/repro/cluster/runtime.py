@@ -1,0 +1,376 @@
+"""The cluster runtime: nodes, parity group, clients, and self-healing.
+
+:class:`Cluster` composes the existing subsystems into the multi-node
+SDDS the paper envisions, running under injected failure:
+
+* client operations route by ``key mod n`` to :class:`ClusterNode`
+  buckets over the :class:`~repro.cluster.network.FaultyNetwork`, each
+  payload sealed with a 4-byte algebraic signature and retried under a
+  :class:`~repro.cluster.retry.RetryPolicy` until it lands;
+* every mutation also feeds an :class:`~repro.parity.lhrs.LHRSStore`
+  reliability group (k parity columns over the n node buckets), so a
+  crashed node's records are reconstructible from the survivors;
+* every node's bucket image is mirrored best-effort on its successor;
+  divergence (dropped or corrupted mirror traffic, crashes) is healed
+  by :func:`repro.sync.sync_by_tree` anti-entropy passes that ship only
+  signature-detected differing pages;
+* scheduled crashes trigger the self-healing pipeline: LH*RS
+  reconstruction over the recovery channel, bucket rebuild, then
+  anti-entropy to re-converge both mirror relationships.
+
+Everything -- fault draws, event ordering, backoff jitter -- is a
+deterministic function of the run seed, so identical seeds produce
+byte-identical run-report JSON.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..obs import get_registry
+from ..parity import LHRSStore
+from ..sdds.record import Record
+from ..sig.scheme import AlgebraicSignatureScheme, make_scheme
+from ..sim.clock import SimClock
+from ..sim.network import NetworkModel, SimNetwork
+from ..sync import sync_by_tree
+from .events import EventLoop
+from .faults import Crash, FaultPlan
+from .network import FaultyNetwork
+from .node import REQUEST_KINDS, ClusterNode, NodeState, deserialize_bucket
+from .retry import RetryExhaustedError, RetryPolicy
+from . import wire
+
+
+class ClusterError(ReproError):
+    """Cluster configuration or routing failure."""
+
+
+#: Recovery-channel message kinds.
+RECOVERY_SHARD = "c_recovery_shard"
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterResult:
+    """Outcome of one client operation against the cluster."""
+
+    op: str
+    status: str
+    value: bytes = b""
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the operation took effect.
+
+        At-least-once caveats: a retried insert answered ``duplicate``
+        (or a retried delete answered ``missing``) means an earlier
+        attempt already landed before its reply was lost.
+        """
+        if self.status in ("inserted", "applied", "deleted", "found"):
+            return True
+        if self.attempts > 1:
+            return ((self.op == "insert" and self.status == "duplicate")
+                    or (self.op == "delete" and self.status == "missing"))
+        return False
+
+
+class Cluster:
+    """A seeded, fault-injected multi-node SDDS cluster."""
+
+    def __init__(self, servers: int = 4, seed: int = 0,
+                 plan: FaultPlan | None = None,
+                 retry: RetryPolicy | None = None,
+                 scheme: AlgebraicSignatureScheme | None = None,
+                 parity_buckets: int = 2,
+                 record_bytes: int = 256,
+                 page_bytes: int = 128,
+                 header_bytes: int = 16):
+        if servers < 2:
+            raise ClusterError("a cluster needs at least 2 server nodes")
+        self.seed = seed
+        self.scheme = scheme if scheme is not None else make_scheme()
+        self.plan = plan if plan is not None else FaultPlan()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.clock = SimClock()
+        self.loop = EventLoop(self.clock)
+        self.network = SimNetwork(
+            clock=self.clock, model=NetworkModel(header_bytes=header_bytes)
+        )
+        self.faulty_network = FaultyNetwork(self.network, self.loop,
+                                            self.plan, seed=seed)
+        self.parity = LHRSStore(self.scheme, data_buckets=servers,
+                                parity_buckets=parity_buckets,
+                                record_bytes=record_bytes)
+        self.nodes = [
+            ClusterNode(index, self, self.scheme, page_bytes)
+            for index in range(servers)
+        ]
+        for node in self.nodes:
+            host = self.mirror_host(node.index)
+            host.make_mirror(node.name, node.image_bytes())
+        self.clients: list["ClusterClient"] = []
+        for crash in self.plan.crashes:
+            self._schedule_crash(crash)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def server_count(self) -> int:
+        """Number of server nodes."""
+        return len(self.nodes)
+
+    @property
+    def max_value_bytes(self) -> int:
+        """Largest record value the parity slots accommodate."""
+        return self.parity.max_value_bytes
+
+    def node_for(self, key: int) -> ClusterNode:
+        """The node owning ``key`` (static ``key mod n`` partitioning)."""
+        return self.nodes[key % len(self.nodes)]
+
+    def mirror_host(self, index: int) -> ClusterNode:
+        """The node hosting ``index``'s bucket-image mirror."""
+        return self.nodes[(index + 1) % len(self.nodes)]
+
+    def mirror_of(self, index: int):
+        """The hosted mirror replica of node ``index``'s image."""
+        return self.mirror_host(index).mirror
+
+    def client(self, name: str | None = None) -> "ClusterClient":
+        """Create (and register) a new cluster client."""
+        index = len(self.clients)
+        client = ClusterClient(index, name or f"client{index}", self)
+        self.clients.append(client)
+        return client
+
+    def client_for_request(self, request_id: int) -> "ClusterClient":
+        """Resolve the client a request id belongs to (reply routing)."""
+        index = request_id >> 32
+        if index >= len(self.clients):
+            raise ClusterError(f"request id {request_id} from unknown client")
+        return self.clients[index]
+
+    # ------------------------------------------------------------------
+    # Crashes and self-healing
+    # ------------------------------------------------------------------
+
+    def _schedule_crash(self, crash: Crash) -> None:
+        node = self._node_by_name(crash.node)
+        self.loop.at(crash.at, lambda: self._crash(node, crash))
+
+    def _node_by_name(self, name: str) -> ClusterNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ClusterError(f"no node named {name!r}")
+
+    def _crash(self, node: ClusterNode, crash: Crash) -> None:
+        if not node.is_up:
+            return  # already down; overlapping plans are a no-op
+        node.crash()
+        self.parity.fail_bucket(node.index)
+        get_registry().counter("cluster.crashes", node=node.name).inc()
+        self.loop.at(crash.recover_at,
+                     lambda: self._recover(node, crashed_at=crash.at))
+
+    def _recover(self, node: ClusterNode, crashed_at: float) -> None:
+        """The signature-driven self-healing pipeline for one node."""
+        registry = get_registry()
+        node.state = NodeState.RECOVERING
+        # 1. LH*RS reconstruction: read one shard per surviving group
+        #    member per rank over the (reliable, accounted) recovery
+        #    channel, then solve the code for the lost column.
+        shard_bytes = self.parity.rank_count * self.parity.record_bytes
+        for survivor in self.nodes:
+            if survivor is not node and survivor.is_up:
+                self.network.send(survivor.name, node.name, RECOVERY_SHARD,
+                                  shard_bytes)
+        for parity_index in range(self.parity.k):
+            self.network.send(f"parity{parity_index}", node.name,
+                              RECOVERY_SHARD, shard_bytes)
+        self.parity.recover()
+        records = [
+            Record(key, self.parity.get(key)) for key in self.parity.keys()
+            if self.parity.bucket_of(key) == node.index
+        ]
+        node.rebuild_from(records)
+        parity_bytes = shard_bytes * (self.server_count - 1 + self.parity.k)
+        registry.counter("cluster.repair_bytes", phase="parity").inc(
+            parity_bytes
+        )
+        # 2. Anti-entropy: re-home the mirror this node hosts, then
+        #    re-converge both mirror relationships by tree probing.
+        predecessor = self.nodes[(node.index - 1) % len(self.nodes)]
+        node.make_mirror(predecessor.name)
+        node.state = NodeState.UP
+        self._repair_pair(predecessor, phase="recovery")
+        self._repair_pair(node, phase="recovery")
+        registry.counter("cluster.recoveries", node=node.name).inc()
+        registry.histogram("cluster.recovery_seconds").observe(
+            self.clock.now - crashed_at
+        )
+
+    def _repair_pair(self, source: ClusterNode, phase: str) -> int:
+        """Anti-entropy one (source image, hosted mirror) pair."""
+        host = self.mirror_host(source.index)
+        if not (source.is_up and host.is_up) or host.mirror is None:
+            return 0
+        report = sync_by_tree(source.image, host.mirror, self.network)
+        registry = get_registry()
+        registry.counter("cluster.repair_bytes", phase=phase).inc(
+            report.total_bytes
+        )
+        registry.counter("cluster.repair_pages", phase=phase).inc(
+            report.pages_shipped
+        )
+        return report.pages_shipped
+
+    def anti_entropy(self) -> int:
+        """Run one full anti-entropy sweep; returns pages repaired."""
+        return sum(self._repair_pair(node, phase="anti_entropy")
+                   for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Run control and invariants
+    # ------------------------------------------------------------------
+
+    def settle(self, max_seconds: float = 3600.0) -> None:
+        """Drain in-flight events, then heal every replica."""
+        self.loop.run_until_idle(max_seconds)
+        self.anti_entropy()
+        self.loop.run_until_idle(max_seconds)
+
+    def converged(self) -> bool:
+        """True when every up node's mirror matches its source image."""
+        for node in self.nodes:
+            mirror = self.mirror_of(node.index)
+            if not (node.is_up and self.mirror_host(node.index).is_up):
+                continue
+            if mirror is None or bytes(mirror.data) != node.image_bytes():
+                return False
+        return True
+
+    def check_replicas(self) -> None:
+        """Assert convergence *and* that images decode to the buckets."""
+        if not self.converged():
+            raise ClusterError("mirror replicas diverge from their sources")
+        for node in self.nodes:
+            if not node.is_up:
+                continue
+            decoded = {r.key: r.value for r in
+                       deserialize_bucket(node.image_bytes())}
+            stored = {key: node.server.bucket.get(key).value
+                      for key in node.server.bucket.keys()}
+            if decoded != stored:
+                raise ClusterError(
+                    f"{node.name} image out of step with its bucket"
+                )
+
+
+class ClusterClient:
+    """A client of the fault-injected cluster: retries + verification."""
+
+    def __init__(self, index: int, name: str, cluster: Cluster):
+        self.index = index
+        self.name = name
+        self.cluster = cluster
+        self._seq = 0
+        self._pending: set[int] = set()
+        self._replies: dict[int, tuple[int, bytes]] = {}
+        self._rng = random.Random(f"{cluster.seed}|{name}|retry")
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> ClusterResult:
+        """Insert a record."""
+        return self._call(wire.OP_INSERT, key, value)
+
+    def search(self, key: int) -> ClusterResult:
+        """Fetch a record's value (in ``result.value``)."""
+        return self._call(wire.OP_SEARCH, key)
+
+    def update(self, key: int, value: bytes) -> ClusterResult:
+        """Overwrite a record's value (pseudo-updates filtered server-side)."""
+        return self._call(wire.OP_UPDATE, key, value)
+
+    def delete(self, key: int) -> ClusterResult:
+        """Remove a record."""
+        return self._call(wire.OP_DELETE, key)
+
+    # ------------------------------------------------------------------
+    # The retry loop
+    # ------------------------------------------------------------------
+
+    def _call(self, op: int, key: int, value: bytes = b"") -> ClusterResult:
+        if len(value) > self.cluster.max_value_bytes:
+            raise ClusterError(
+                f"value of {len(value)} bytes exceeds the "
+                f"{self.cluster.max_value_bytes}-byte parity slot"
+            )
+        op_name = wire.OP_NAMES[op]
+        node = self.cluster.node_for(key)
+        request_id = (self.index << 32) | self._seq
+        self._seq += 1
+        sealed = wire.seal(self.cluster.scheme,
+                           wire.encode_request(op, request_id, key, value))
+        registry = get_registry()
+        policy = self.cluster.retry
+        loop = self.cluster.loop
+        started = loop.clock.now
+        self._pending.add(request_id)
+        try:
+            for attempt in range(policy.max_attempts):
+                if attempt:
+                    registry.counter("cluster.retries", op=op_name).inc()
+                self.cluster.faulty_network.transmit(
+                    self.name, node.name, REQUEST_KINDS[op], sealed,
+                    node.receive_request,
+                )
+                deadline = loop.clock.now + policy.timeout_for(
+                    attempt, self._rng
+                )
+                if loop.run_until(deadline,
+                                  stop=lambda: request_id in self._replies):
+                    break
+                registry.counter("cluster.timeouts", op=op_name).inc()
+            else:
+                registry.counter("cluster.ops", op=op_name,
+                                 status="gave_up").inc()
+                raise RetryExhaustedError(
+                    f"{op_name}({key}) failed after "
+                    f"{policy.max_attempts} attempts"
+                )
+        finally:
+            self._pending.discard(request_id)
+        status_code, reply_value = self._replies.pop(request_id)
+        status = wire.ST_NAMES[status_code]
+        attempts = attempt + 1
+        elapsed = loop.clock.now - started
+        registry.counter("cluster.ops", op=op_name, status=status).inc()
+        registry.histogram("cluster.op_seconds", op=op_name).observe(elapsed)
+        registry.histogram("cluster.op_attempts", op=op_name).observe(attempts)
+        return ClusterResult(op=op_name, status=status, value=reply_value,
+                             attempts=attempts, elapsed=elapsed)
+
+    def receive_reply(self, data: bytes) -> None:
+        """Handle one delivered reply payload (verify, then match)."""
+        body = wire.unseal(self.cluster.scheme, data)
+        registry = get_registry()
+        if body is None:
+            registry.counter("cluster.corruptions_detected",
+                             where="reply").inc()
+            return
+        status, request_id, value = wire.decode_reply(body)
+        if request_id not in self._pending or request_id in self._replies:
+            # A late or duplicated reply for a settled operation.
+            registry.counter("cluster.stale_replies").inc()
+            return
+        self._replies[request_id] = (status, value)

@@ -264,6 +264,11 @@ class LHRSStore:
     def _rank_count(self) -> int:
         return max((len(bucket) for bucket in self._data), default=0)
 
+    @property
+    def rank_count(self) -> int:
+        """Number of ranks (code words) currently in the group."""
+        return self._rank_count()
+
     # ------------------------------------------------------------------
     # Signature audit (Section 6.2)
     # ------------------------------------------------------------------

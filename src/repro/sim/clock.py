@@ -10,6 +10,8 @@ computation parts.
 
 from __future__ import annotations
 
+import math
+
 
 class SimClock:
     """A monotonically advancing simulated clock (seconds as floats)."""
@@ -25,11 +27,26 @@ class SimClock:
     def advance(self, seconds: float) -> float:
         """Advance the clock; returns the new time.
 
-        Negative advances are rejected: simulated time never rewinds.
+        Negative, NaN, and infinite advances are rejected: simulated
+        time never rewinds, and a single bad timeout computation must
+        not silently poison every later timestamp.
         """
-        if seconds < 0:
+        if not math.isfinite(seconds) or seconds < 0:
             raise ValueError(f"cannot advance the clock by {seconds} s")
         self._now += seconds
+        return self._now
+
+    def sleep_until(self, deadline: float) -> float:
+        """Advance to ``deadline`` if it lies ahead; returns the new time.
+
+        The monotonic-deadline helper event schedulers need: a deadline
+        already in the past is a no-op (time never rewinds), and
+        NaN/infinite deadlines are rejected rather than absorbed.
+        """
+        if not math.isfinite(deadline):
+            raise ValueError(f"cannot sleep until t={deadline} s")
+        if deadline > self._now:
+            self._now = deadline
         return self._now
 
     def reset(self) -> None:

@@ -25,10 +25,18 @@ class NetworkModel:
 
     latency: float = 100e-6          #: per-message fixed cost (s)
     bandwidth: float = ETHERNET_100_MBPS  #: payload throughput (bytes/s)
+    #: Per-message framing overhead (bytes) added to every payload in
+    #: both transfer time and traffic accounting, so signature probes
+    #: and other tiny messages are not modeled as free beyond latency.
+    header_bytes: int = 0
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Bytes actually on the wire: payload plus framing."""
+        return payload_bytes + self.header_bytes
 
     def transfer_time(self, payload_bytes: int) -> float:
         """Seconds to deliver a message with the given payload."""
-        return self.latency + payload_bytes / self.bandwidth
+        return self.latency + self.wire_bytes(payload_bytes) / self.bandwidth
 
 
 class SimNetwork:
@@ -67,20 +75,31 @@ class SimNetwork:
         handles[0].inc()
         handles[1].inc(payload_bytes)
 
-    def send(self, source: str, destination: str, kind: str, payload_bytes: int) -> float:
-        """Account one message and advance the clock; returns elapsed seconds."""
+    def account(self, source: str, destination: str, kind: str,
+                payload_bytes: int) -> float:
+        """Tally one message *without* advancing the clock.
+
+        Returns the modeled transfer time, for transports that schedule
+        delivery on an event loop instead of blocking the world (the
+        cluster runtime's :class:`~repro.cluster.FaultyNetwork`).
+        """
         if payload_bytes < 0:
             raise ValueError("payload size cannot be negative")
-        elapsed = self.model.transfer_time(payload_bytes)
-        self.clock.advance(elapsed)
-        self.stats.record(kind, payload_bytes)
-        self._emit(kind, payload_bytes)
+        wire = self.model.wire_bytes(payload_bytes)
+        self.stats.record(kind, wire)
+        self._emit(kind, wire)
         self.per_node.setdefault(source, TrafficStats()).record(
-            f"out:{kind}", payload_bytes
+            f"out:{kind}", wire
         )
         self.per_node.setdefault(destination, TrafficStats()).record(
-            f"in:{kind}", payload_bytes
+            f"in:{kind}", wire
         )
+        return self.model.transfer_time(payload_bytes)
+
+    def send(self, source: str, destination: str, kind: str, payload_bytes: int) -> float:
+        """Account one message and advance the clock; returns elapsed seconds."""
+        elapsed = self.account(source, destination, kind, payload_bytes)
+        self.clock.advance(elapsed)
         return elapsed
 
     def local_compute(self, seconds: float) -> float:

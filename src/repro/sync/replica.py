@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ReproError
+from ..obs import get_registry
 from ..sig.compound import SignatureMap
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.tree import SignatureTree
@@ -97,6 +98,22 @@ class SyncReport:
         return self.signature_bytes + self.data_bytes
 
 
+def _emit_report(protocol: str, report: SyncReport, compared: int) -> None:
+    """Land one reconciliation's accounting in the ``sync.*`` series."""
+    registry = get_registry()
+    registry.counter("sync.syncs", protocol=protocol).inc()
+    registry.counter("sync.pages_shipped", protocol=protocol).inc(
+        report.pages_shipped
+    )
+    registry.counter("sync.sig_bytes", protocol=protocol).inc(
+        report.signature_bytes
+    )
+    registry.counter("sync.data_bytes", protocol=protocol).inc(
+        report.data_bytes
+    )
+    registry.counter("sync.nodes_compared", protocol=protocol).inc(compared)
+
+
 def _check_peers(source: Replica, target: Replica) -> None:
     if source.scheme.scheme_id != target.scheme.scheme_id:
         raise ReproError("replicas must share a signature scheme")
@@ -121,13 +138,16 @@ def sync_by_map(source: Replica, target: Replica,
         target.write_page(index, page)
         data_bytes += len(page)
     _trim(target, source)
-    return SyncReport(
+    report = SyncReport(
         pages_total=source_map.page_count,
         pages_shipped=len(changed),
         signature_bytes=map_bytes + request_bytes,
         data_bytes=data_bytes,
         rounds=2,
     )
+    # A map exchange compares every page signature exactly once.
+    _emit_report("map", report, compared=source_map.page_count)
+    return report
 
 
 def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
@@ -148,6 +168,7 @@ def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
     sig_bytes_per = source.scheme.scheme_id.signature_bytes
     signature_bytes = 0
     rounds = 0
+    compared = 0
     top = source_tree.height - 1
     suspects = [0]  # node indices at the current level
     for level in range(top, 0, -1):
@@ -155,6 +176,7 @@ def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
         network.send(source.name, target.name, TREE_LEVEL, payload)
         signature_bytes += payload
         rounds += 1
+        compared += len(suspects)
         next_suspects = []
         child_level = level - 1
         for index in suspects:
@@ -178,6 +200,7 @@ def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
         network.send(source.name, target.name, TREE_LEVEL, payload)
         signature_bytes += payload
         rounds += 1
+        compared += len(suspects)
     request_bytes = 4 + 4 * len(changed)
     network.send(target.name, source.name, PAGE_REQUEST, request_bytes)
     signature_bytes += request_bytes
@@ -188,13 +211,15 @@ def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
         target.write_page(index, page)
         data_bytes += len(page)
     _trim(target, source)
-    return SyncReport(
+    report = SyncReport(
         pages_total=source_tree.leaf_count,
         pages_shipped=len(changed),
         signature_bytes=signature_bytes,
         data_bytes=data_bytes,
         rounds=rounds + 1,
     )
+    _emit_report("tree", report, compared=compared)
+    return report
 
 
 def _trim(target: Replica, source: Replica) -> None:

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.gf import GF
-from repro.sig import PRIMITIVE, STANDARD, make_scheme
+from repro.sig import PRIMITIVE, make_scheme
 
 
 @pytest.fixture(scope="session")

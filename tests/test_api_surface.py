@@ -12,7 +12,6 @@ from repro.analysis import (
     print_table,
 )
 from repro.backup import DirtyBitTracker
-from repro.gf import GF
 from repro.gf.primitives import default_polynomial, validate_generator
 from repro.errors import GaloisFieldError, SignatureMismatchError
 from repro.sdds import Bucket, LHFile, Record, RecordHeap

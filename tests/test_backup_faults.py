@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.backup import BackupEngine
-from repro.errors import BackupError, ReproError
+from repro.errors import BackupError
 from repro.sig import make_scheme
 from repro.sim import SimClock, SimDisk
 

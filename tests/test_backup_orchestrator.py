@@ -1,7 +1,5 @@
 """Tests for whole-file backup and disaster recovery."""
 
-import random
-
 import pytest
 
 from repro.backup import BackupEngine

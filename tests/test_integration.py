@@ -9,11 +9,11 @@ search feeding the backup engine afterwards.
 import random
 
 import numpy as np
-from repro.backup import BackupEngine, CpuModel
+from repro.backup import BackupEngine
 from repro.parity import ReliabilityGroup
 from repro.sdds import LHFile, Record, RPFile, UpdateStatus
 from repro.sig import SignatureTree, make_scheme
-from repro.sim import DiskModel, SimDisk, SimNetwork
+from repro.sim import DiskModel, SimDisk
 from repro.workloads import make_records, pseudo_update_mix
 
 

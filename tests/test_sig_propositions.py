@@ -13,7 +13,6 @@ from repro.gf import GF
 from repro.sig import (
     PRIMITIVE,
     STANDARD,
-    apply_delta,
     apply_update,
     concat,
     concat_all,

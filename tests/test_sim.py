@@ -33,6 +33,30 @@ class TestClock:
         clock.reset()
         assert clock.now == 0.0
 
+    def test_rejects_nonfinite_advance(self):
+        clock = SimClock()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                clock.advance(bad)
+        assert clock.now == 0.0
+
+    def test_sleep_until(self):
+        clock = SimClock()
+        clock.sleep_until(2.5)
+        assert clock.now == 2.5
+
+    def test_sleep_until_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.sleep_until(1.0)
+        assert clock.now == 5.0
+
+    def test_sleep_until_rejects_nonfinite(self):
+        clock = SimClock()
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                clock.sleep_until(bad)
+
 
 class TestNetworkModel:
     def test_transfer_time_composition(self):
@@ -45,6 +69,18 @@ class TestNetworkModel:
         # 1 MB at 100 Mb/s is 80 ms of serialization.
         assert model.transfer_time(1 << 20) - model.latency == \
             pytest.approx((1 << 20) / (100e6 / 8))
+
+    def test_header_bytes_default_zero(self):
+        model = NetworkModel()
+        assert model.header_bytes == 0
+        assert model.wire_bytes(100) == 100
+
+    def test_header_bytes_in_transfer_time(self):
+        bare = NetworkModel(latency=0.0, bandwidth=1e6)
+        framed = NetworkModel(latency=0.0, bandwidth=1e6, header_bytes=40)
+        assert framed.wire_bytes(100) == 140
+        assert framed.transfer_time(100) == \
+            pytest.approx(bare.transfer_time(140))
 
 
 class TestSimNetwork:
@@ -81,6 +117,20 @@ class TestSimNetwork:
         net.local_compute(0.25)
         assert net.clock.now >= 0.25
         assert net.stats.messages == 0
+
+    def test_header_bytes_accounted(self):
+        net = SimNetwork(model=NetworkModel(header_bytes=16))
+        net.send("a", "b", "x", 100)
+        assert net.stats.bytes == 116
+        assert net.per_node["a"].bytes == 116
+
+    def test_account_tallies_without_advancing_clock(self):
+        net = SimNetwork(model=NetworkModel(latency=1e-3, header_bytes=16))
+        elapsed = net.account("a", "b", "x", 100)
+        assert elapsed == pytest.approx(net.model.transfer_time(100))
+        assert net.clock.now == 0.0
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 116
 
 
 class TestSimDisk:

@@ -6,13 +6,10 @@ checking the full invariant set after every step -- the strongest
 correctness evidence in the suite.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )

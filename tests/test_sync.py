@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, use_registry
 from repro.sig import make_scheme
 from repro.sim import SimNetwork
 from repro.sync import Replica, sync_by_map, sync_by_tree
@@ -129,6 +130,42 @@ class TestValidation:
     def test_oversized_page_rejected(self):
         with pytest.raises(ReproError):
             Replica("a", make_scheme(f=16, n=2), b"", 1 << 20)
+
+
+class TestSyncMetrics:
+    def test_map_sync_emits_series(self):
+        with use_registry(MetricsRegistry()) as registry:
+            source, target = make_pair(mutations=(100, 5000))
+            report = sync_by_map(source, target, SimNetwork())
+        assert registry.total("sync.syncs", protocol="map") == 1
+        assert registry.total("sync.pages_shipped", protocol="map") == 2
+        assert registry.total("sync.sig_bytes", protocol="map") == \
+            report.signature_bytes
+        assert registry.total("sync.data_bytes", protocol="map") == \
+            report.data_bytes
+        # The flat map compares every page signature.
+        assert registry.total("sync.nodes_compared", protocol="map") == \
+            source.page_count
+
+    def test_tree_sync_emits_series(self):
+        with use_registry(MetricsRegistry()) as registry:
+            source, target = make_pair(mutations=(100,))
+            report = sync_by_tree(source, target, SimNetwork())
+        assert registry.total("sync.syncs", protocol="tree") == 1
+        assert registry.total("sync.pages_shipped", protocol="tree") == 1
+        assert registry.total("sync.sig_bytes", protocol="tree") == \
+            report.signature_bytes
+        compared = registry.total("sync.nodes_compared", protocol="tree")
+        # The probe walks a root-to-leaf cone, far fewer comparisons
+        # than the flat map's one-per-page.
+        assert 0 < compared < source.page_count
+
+    def test_identical_replicas_compare_only_the_root(self):
+        with use_registry(MetricsRegistry()) as registry:
+            source, target = make_pair()
+            sync_by_tree(source, target, SimNetwork())
+        assert registry.total("sync.nodes_compared", protocol="tree") == 1
+        assert registry.total("sync.pages_shipped", protocol="tree") == 0
 
 
 class TestTreeFanoutSweep:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.sdds import LHFile, Record, UpdateStatus
+from repro.sdds import LHFile, UpdateStatus
 from repro.sig import make_scheme
 from repro.workloads import (
     hot_set_fraction,
