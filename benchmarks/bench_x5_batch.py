@@ -1,0 +1,53 @@
+"""X5 -- batched signature engine vs the per-page paths.
+
+PR 3's tentpole: :class:`repro.sig.BatchSigner` signs N pages in one
+2-D kernel pass (one log gather + one antilog gather per base
+coordinate for the whole batch) through a shared β-power-ladder cache.
+This benchmark reruns the ``python -m repro bench --json`` harness in
+quick mode and reports its table; the committed full run lives in
+``BENCH_pr3.json``.
+
+Acceptance asserted here:
+
+* every timed path is byte-identical to ``scheme.sign`` (the harness
+  verifies before timing; ``verified`` must be true), and
+* single-thread batch signing is >= 5x the paper's scalar loop on
+  64 KiB pages, both fields.
+"""
+
+from repro.bench import run
+from repro.sig import get_batch_signer, make_scheme
+from repro.workloads import make_page
+
+PAGES = [make_page("random", 64 * 1024, seed=s) for s in range(8)]
+
+
+def test_x5_batch_sign_many(benchmark):
+    signer = get_batch_signer(make_scheme(f=16, n=2))
+    benchmark(signer.sign_many, PAGES, strict=False)
+
+
+def test_x5_report(benchmark, report_table):
+    signer = get_batch_signer(make_scheme(f=16, n=2))
+    benchmark(signer.sign_many, PAGES, strict=False)
+
+    document = run(quick=True)
+    assert document["verified"] is True
+    rows = []
+    for field in document["fields"]:
+        for entry in field["results"]:
+            rows.append([field["field"], entry["path"], entry["pages"],
+                        entry["pages_per_s"], entry["mib_per_s"]])
+    speedups = {field["field"]: field["speedups"]
+                for field in document["fields"]}
+    report_table(
+        "X5: signing throughput, 64 KiB pages (quick harness)",
+        ["field", "path", "pages", "pages/s", "MiB/s"],
+        rows,
+        notes="batch vs scalar loop: " + ", ".join(
+            f"{name} {s['batch_vs_scalar']}x" for name, s in speedups.items()
+        ),
+    )
+    # Acceptance: >= 5x over the paper's symbol-at-a-time scalar loop.
+    for name, s in speedups.items():
+        assert s["batch_vs_scalar"] >= 5.0, (name, s)

@@ -5,7 +5,10 @@ Commands:
 * ``info``        -- version, configuration, and paper identification
 * ``selftest``    -- run the full unit/property/integration test suite
 * ``bench``       -- run the benchmark harness (E1..E10, X1, X2) and
-                     print the paper-reproduction tables
+                     print the paper-reproduction tables; with
+                     ``--json [--quick]`` run the signing-throughput
+                     harness instead and print its stable JSON document
+                     (the ``BENCH_pr3.json`` format)
 * ``examples``    -- run every example script in sequence
 * ``recommend <page_bytes>`` -- print the scheme the Section 5.2
                      reasoning picks for that page size
@@ -49,7 +52,11 @@ def _selftest() -> int:
     return pytest.main(["tests/", "-q"])
 
 
-def _bench() -> int:
+def _bench(arguments: list[str]) -> int:
+    if "--json" in arguments:
+        from repro.bench import main as bench_main
+
+        return bench_main(arguments)
     import pytest
 
     return pytest.main(["benchmarks/", "--benchmark-only"])
@@ -241,7 +248,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "info": lambda: _info(),
         "selftest": lambda: _selftest(),
-        "bench": lambda: _bench(),
+        "bench": lambda: _bench(argv[1:]),
         "examples": lambda: _examples(),
         "recommend": lambda: _recommend(argv[1:]),
         "report": lambda: _report(argv[1:]),

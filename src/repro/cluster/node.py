@@ -214,17 +214,23 @@ class ClusterNode:
         host = self.cluster.mirror_host(self.index)
         pages = max(len(current), len(previous))
         pages = (pages + self.page_bytes - 1) // self.page_bytes
+        bodies = []
         for index in range(pages):
             lo, hi = index * self.page_bytes, (index + 1) * self.page_bytes
             if current[lo:hi] == previous[lo:hi]:
                 continue
-            body = wire.encode_mirror(len(current), index, current[lo:hi])
+            bodies.append(wire.encode_mirror(len(current), index,
+                                             current[lo:hi]))
+        if not bodies:
+            return
+        # One batched signing pass seals the whole burst of page updates.
+        for sealed in wire.seal_many(self.scheme, bodies):
             self.cluster.faulty_network.transmit(
-                self.name, host.name, MIRROR_KIND,
-                wire.seal(self.scheme, body), host.receive_mirror,
+                self.name, host.name, MIRROR_KIND, sealed,
+                host.receive_mirror,
             )
-            get_registry().counter("cluster.mirror_pages",
-                                   source=self.name).inc()
+        get_registry().counter("cluster.mirror_pages",
+                               source=self.name).inc(len(bodies))
 
     def receive_mirror(self, data: bytes) -> None:
         """Apply one delivered mirror page update to the hosted mirror."""

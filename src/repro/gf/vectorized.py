@@ -15,6 +15,9 @@ against these kernels in the tests.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from ..errors import GaloisFieldError
@@ -64,13 +67,89 @@ def as_symbol_array(page, field: GField) -> np.ndarray:
     return arr
 
 
+# ----------------------------------------------------------------------
+# The shared β-power ladder store
+# ----------------------------------------------------------------------
+#
+# Every signing path weights symbol ``i`` by ``beta^i``, i.e. needs the
+# position-exponent ladder ``(log(beta) * i) mod (2^f - 1)``.  Computing
+# it is one integer multiply + modulo per symbol -- as expensive as the
+# signature gathers themselves.  The ladders depend only on (field, beta,
+# length), so one process-wide LRU store amortizes them across *every*
+# caller: the scalar per-page kernels below, the rolling/window scanner,
+# and the 2-D batch kernels.  Entries grow geometrically (power-of-two
+# capacities) and are handed out as read-only views, so a ladder built
+# for a 64 KB page also serves every shorter page for free.
+
+_LADDER_LOCK = threading.Lock()
+_LADDERS: OrderedDict[tuple[int, int, int], np.ndarray] = OrderedDict()
+#: Distinct (field, beta) ladders kept; LRU-evicted beyond this.
+LADDER_CACHE_MAX = 64
+#: Smallest ladder capacity built (below this, growth churn dominates).
+_LADDER_MIN_CAPACITY = 1024
+
+#: Cache-effectiveness accounting (read by the engine's metrics).
+ladder_hits = 0
+ladder_misses = 0
+
+
+def _ladder_capacity(length: int) -> int:
+    """Power-of-two capacity covering ``length`` (geometric growth)."""
+    capacity = _LADDER_MIN_CAPACITY
+    while capacity < length:
+        capacity <<= 1
+    return capacity
+
+
+def ladder_exponents(field: GField, beta: int, length: int) -> np.ndarray:
+    """The position-exponent ladder ``[(log(beta) * i) % order, i < length]``.
+
+    Returned as a read-only view into the shared LRU store -- callers
+    must never mutate it.  ``field.antilog_table[ladder]`` yields the
+    weight array ``[beta^0, beta^1, ...]``; adding symbol logarithms and
+    gathering from the *doubled* antilog table multiplies without any
+    modulo reduction (the Section 4.1 trick, applied per-array).
+    """
+    global ladder_hits, ladder_misses
+    if beta == 0:
+        raise GaloisFieldError("signature base element must be non-zero")
+    log_beta = field.log(beta)
+    key = (field.f, field.generator, log_beta)
+    with _LADDER_LOCK:
+        ladder = _LADDERS.get(key)
+        if ladder is not None and ladder.size >= length:
+            _LADDERS.move_to_end(key)
+            ladder_hits += 1
+            return ladder[:length]
+        ladder_misses += 1
+        capacity = _ladder_capacity(length)
+        ladder = (log_beta * np.arange(capacity, dtype=np.int64)) % field.order
+        ladder.flags.writeable = False
+        _LADDERS[key] = ladder
+        _LADDERS.move_to_end(key)
+        while len(_LADDERS) > LADDER_CACHE_MAX:
+            _LADDERS.popitem(last=False)
+    return ladder[:length]
+
+
+def ladder_cache_clear() -> None:
+    """Drop every cached ladder (test isolation; never needed in prod)."""
+    global ladder_hits, ladder_misses
+    with _LADDER_LOCK:
+        _LADDERS.clear()
+        ladder_hits = 0
+        ladder_misses = 0
+
+
 def power_weights(field: GField, beta: int, length: int, start: int = 0) -> np.ndarray:
     """Return the array ``[beta^start, beta^(start+1), ..., beta^(start+length-1)]``."""
     if beta == 0:
         raise GaloisFieldError("signature base element must be non-zero")
-    log_beta = field.log(beta)
-    exponents = (log_beta * (np.arange(length, dtype=np.int64) + start)) % field.order
-    return field.antilog_table[exponents].astype(np.int64)
+    ladder = ladder_exponents(field, beta, length)
+    if start:
+        shift = (field.log(beta) * start) % field.order
+        return field._antilog_double[ladder + shift].astype(np.int64)
+    return field.antilog_table[ladder].astype(np.int64)
 
 
 def component_signature(field: GField, symbols: np.ndarray, beta: int) -> int:
@@ -87,28 +166,32 @@ def component_signature(field: GField, symbols: np.ndarray, beta: int) -> int:
     nonzero = symbols != 0
     if not nonzero.any():
         return 0
-    log_beta = field.log(beta)
     positions = np.nonzero(nonzero)[0]
     logs = field.log_table[symbols[positions]]
-    exponents = (log_beta * positions + logs) % field.order
-    terms = field.antilog_table[exponents]
+    ladder = ladder_exponents(field, beta, symbols.size)
+    terms = field._antilog_double[ladder[positions] + logs]
     return int(np.bitwise_xor.reduce(terms))
 
 
 def signature_vector(field: GField, symbols: np.ndarray, betas: tuple[int, ...]) -> tuple[int, ...]:
-    """Compute every component signature of a page for the base ``betas``."""
+    """Compute every component signature of a page for the base ``betas``.
+
+    One log-gather for the page, then per base coordinate one cached
+    ladder lookup plus one doubled-antilog gather -- no per-call power
+    recomputation and no modulo in the inner expression.
+    """
     if symbols.size == 0:
         return tuple(0 for _ in betas)
     positions = np.nonzero(symbols != 0)[0]
     if positions.size == 0:
         return tuple(0 for _ in betas)
     logs = field.log_table[symbols[positions]]
+    antilog_double = field._antilog_double
     components = []
     for beta in betas:
-        if beta == 0:
-            raise GaloisFieldError("signature base element must be non-zero")
-        exponents = (field.log(beta) * positions + logs) % field.order
-        components.append(int(np.bitwise_xor.reduce(field.antilog_table[exponents])))
+        ladder = ladder_exponents(field, beta, symbols.size)
+        terms = antilog_double[ladder[positions] + logs]
+        components.append(int(np.bitwise_xor.reduce(terms)))
     return tuple(components)
 
 
@@ -125,9 +208,113 @@ def term_array(field: GField, symbols: np.ndarray, beta: int) -> np.ndarray:
     if positions.size == 0:
         return terms
     logs = field.log_table[symbols[positions]]
-    exponents = (field.log(beta) * positions + logs) % field.order
-    terms[positions] = field.antilog_table[exponents]
+    ladder = ladder_exponents(field, beta, symbols.size)
+    terms[positions] = field._antilog_double[ladder[positions] + logs]
     return terms
+
+
+# ----------------------------------------------------------------------
+# Many-page (2-D) kernels
+# ----------------------------------------------------------------------
+
+def pack_pages(pages: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack 1-D symbol arrays into a zero-padded ``(N, L)`` matrix.
+
+    Returns ``(matrix, lengths)`` with ``L = max(len(page))``.  Zero
+    padding is signature-neutral: a zero symbol contributes no term, and
+    padding sits *after* any scheme pre-mapping, so the row signature of
+    the padded matrix equals the page signature exactly.
+    """
+    if not pages:
+        return np.zeros((0, 0), dtype=np.int64), np.zeros(0, dtype=np.int64)
+    lengths = np.fromiter((page.size for page in pages), dtype=np.int64,
+                          count=len(pages))
+    width = int(lengths.max())
+    matrix = np.zeros((len(pages), width), dtype=np.int64)
+    for row, page in enumerate(pages):
+        matrix[row, :page.size] = page
+    return matrix, lengths
+
+
+def batch_signature_matrix(field: GField, matrix: np.ndarray,
+                           betas: tuple[int, ...],
+                           ladders: tuple[np.ndarray, ...] | None = None) -> np.ndarray:
+    """Component signatures of every row of a zero-padded symbol matrix.
+
+    The batch analogue of :func:`signature_vector`: **one** log-gather
+    over the whole ``(N, L)`` matrix, then per base coordinate one
+    cached-ladder broadcast add and one doubled-antilog gather, XOR-
+    reduced along each row.  Table setup (the ladder) is amortized over
+    all ``N`` pages -- the Broder-style batching economics.
+
+    ``ladders`` optionally supplies pre-fetched position-exponent arrays
+    (one per beta, each at least ``L`` long) -- the engine passes its
+    :class:`~repro.sig.engine.PowerLadderCache` bundle here.
+
+    Returns an ``(N, len(betas))`` int64 matrix of components.
+    """
+    n_pages, width = matrix.shape
+    out = np.zeros((n_pages, len(betas)), dtype=np.int64)
+    if n_pages == 0 or width == 0:
+        for beta in betas:
+            if beta == 0:
+                raise GaloisFieldError("signature base element must be non-zero")
+        return out
+    mask = matrix != 0
+    # log_table[0] is the -1 sentinel; masked entries gather a garbage
+    # term (negative index wraps) that the where() below discards.
+    logs = field.log_table[matrix]
+    antilog_double = field._antilog_double
+    zero = np.zeros((), dtype=antilog_double.dtype)
+    for j, beta in enumerate(betas):
+        if ladders is not None:
+            ladder = ladders[j][:width]
+        else:
+            ladder = ladder_exponents(field, beta, width)
+        terms = antilog_double[logs + ladder[None, :]]
+        terms = np.where(mask, terms, zero)
+        out[:, j] = np.bitwise_xor.reduce(terms, axis=1)
+    return out
+
+
+def fold_concat_level(field: GField, components: np.ndarray,
+                      lengths: np.ndarray, betas: tuple[int, ...],
+                      fanout: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Proposition-5 fold of one signature-tree level.
+
+    ``components`` is the ``(m, n)`` matrix of child component
+    signatures and ``lengths`` their symbol lengths; children are folded
+    in groups of ``fanout``: parent component ``j`` is
+    ``XOR_k child_{k,j} * beta_j^{offset_k}`` with ``offset_k`` the
+    cumulative symbol length of the earlier siblings -- exactly the
+    :func:`repro.sig.algebra.concat_all` recurrence, evaluated for every
+    group at once.
+
+    Returns ``(parent_components, parent_lengths)``.
+    """
+    m, n = components.shape
+    groups = (m + fanout - 1) // fanout
+    padded = groups * fanout
+    comps = np.zeros((padded, n), dtype=np.int64)
+    comps[:m] = components
+    lens = np.zeros(padded, dtype=np.int64)
+    lens[:m] = lengths
+    lens = lens.reshape(groups, fanout)
+    offsets = np.cumsum(lens, axis=1) - lens       # exclusive per-group cumsum
+    parent_lengths = lens.sum(axis=1)
+    grouped = comps.reshape(groups, fanout, n)
+    antilog_double = field._antilog_double
+    out = np.zeros((groups, n), dtype=np.int64)
+    for j, beta in enumerate(betas):
+        if beta == 0:
+            raise GaloisFieldError("signature base element must be non-zero")
+        shift = (field.log(beta) * offsets) % field.order
+        column = grouped[:, :, j]
+        mask = column != 0
+        terms = antilog_double[field.log_table[column] + shift]
+        terms = np.where(mask, terms, np.zeros((), dtype=antilog_double.dtype))
+        out[:, j] = np.bitwise_xor.reduce(terms, axis=1)
+    return out, parent_lengths
 
 
 def prefix_xor(terms: np.ndarray) -> np.ndarray:

@@ -20,12 +20,14 @@ Quick tour::
 from .registry import (
     Counter,
     Gauge,
+    HandleCache,
     Histogram,
     MetricError,
     MetricsRegistry,
     Snapshotable,
     get_registry,
     labels_to_str,
+    registry_epoch,
     set_registry,
     use_registry,
 )
@@ -35,6 +37,8 @@ from .report import SCHEMA, RunReport
 __all__ = [
     "Counter",
     "Gauge",
+    "HandleCache",
+    "registry_epoch",
     "Histogram",
     "MetricError",
     "MetricsRegistry",

@@ -305,18 +305,53 @@ class MetricsRegistry:
 _default_registry = MetricsRegistry()
 _active_registry = _default_registry
 
+#: Bumped by every :func:`set_registry` (hence every :func:`use_registry`
+#: enter/exit).  Hot paths cache resolved metric handles against this
+#: epoch and refresh only when it moves, so per-event metrics cost one
+#: module-attribute load + integer compare instead of a registry lookup.
+epoch = 0
+
 
 def get_registry() -> MetricsRegistry:
     """The currently active registry (process-wide unless injected)."""
     return _active_registry
 
 
+def registry_epoch() -> int:
+    """Monotonic counter of registry switches (see :data:`epoch`)."""
+    return epoch
+
+
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Install ``registry`` as the active one; returns the previous."""
-    global _active_registry
+    global _active_registry, epoch
     previous = _active_registry
     _active_registry = registry
+    epoch += 1
     return previous
+
+
+class HandleCache:
+    """Per-owner cache of resolved metric handles, epoch-invalidated.
+
+    Hoists :func:`get_registry` out of per-call hot paths: the owner
+    supplies a factory mapping a registry to a tuple of series handles;
+    :meth:`get` re-runs it only when :func:`set_registry` has installed
+    a different registry since the last call (the ``use_registry`` hook).
+    """
+
+    __slots__ = ("_epoch", "_handles")
+
+    def __init__(self) -> None:
+        self._epoch = -1
+        self._handles = None
+
+    def get(self, factory):
+        """The cached handles, refreshed iff the registry switched."""
+        if self._epoch != epoch:
+            self._handles = factory(_active_registry)
+            self._epoch = epoch
+        return self._handles
 
 
 @contextmanager

@@ -20,6 +20,8 @@ Sub-modules:
 * :mod:`rolling`  -- sliding-window signatures and Las Vegas search.
 * :mod:`twisted`  -- Proposition 6 bijection-twisted schemes and the
   log-interpretation speed variant (Section 5.1).
+* :mod:`engine`   -- the batched many-page signer (2-D kernels, shared
+  β-power ladder cache, optional worker threads).
 """
 
 from .base import PRIMITIVE, STANDARD, SignatureBase, make_base
@@ -38,6 +40,7 @@ from .tree import SignatureTree, TreeDiff, TreeNode
 from .rolling import RollingWindow, find_signature_matches, search
 from .twisted import TwistedScheme, log_interpretation_scheme, sign_log_interpreted_fast
 from .fast import ChunkedSigner, PairedTableSigner
+from .engine import BatchSigner, PowerLadderCache, get_batch_signer
 from .multisearch import MultiPatternSearcher
 from .stream import LoggedUpdate, StreamSigner, UpdateLog
 
@@ -70,6 +73,9 @@ __all__ = [
     "sign_log_interpreted_fast",
     "ChunkedSigner",
     "PairedTableSigner",
+    "BatchSigner",
+    "PowerLadderCache",
+    "get_batch_signer",
     "MultiPatternSearcher",
     "StreamSigner",
     "UpdateLog",

@@ -20,11 +20,13 @@ the same signature, verified against the reference in the tests):
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import SignatureError
 from ..gf.vectorized import scale
-from ..obs import get_registry
+from ..obs import HandleCache
 from .algebra import concat_all
 from .scheme import AlgebraicSignatureScheme
 from .signature import Signature
@@ -45,17 +47,32 @@ class ChunkedSigner:
             raise SignatureError("chunk exceeds the scheme's page bound")
         self.scheme = scheme
         self.chunk_symbols = chunk_symbols
+        self._obs = HandleCache()
+
+    def _counters(self):
+        """``sig.fast.*`` handles, resolved once per registry switch."""
+        return self._obs.get(lambda registry: (
+            registry.counter("sig.fast.full_recomputes"),
+            registry.counter("sig.fast.incremental_recomputes"),
+            registry.counter("sig.fast.chunks_signed"),
+        ))
 
     def chunk_signatures(self, page) -> list[tuple[Signature, int]]:
-        """Per-chunk ``(signature, length)`` pairs, each chunk at offset 0."""
+        """Per-chunk ``(signature, length)`` pairs, each chunk at offset 0.
+
+        An empty page yields the single canonical empty chunk
+        ``[(scheme.sign(b""), 0)]`` so every page -- empty included --
+        has exactly ``ceil(max(size, 1) / chunk)`` chunks and combining
+        always reproduces ``scheme.sign``.
+        """
         symbols = self.scheme.to_symbols(page)
-        chunks = []
-        for start in range(0, max(symbols.size, 1), self.chunk_symbols):
-            chunk = symbols[start:start + self.chunk_symbols]
-            chunks.append((self.scheme.sign(chunk), chunk.size))
-            if symbols.size == 0:
-                break
-        return chunks
+        if symbols.size == 0:
+            return [(self.scheme.sign(symbols), 0)]
+        return [
+            (self.scheme.sign(symbols[start:start + self.chunk_symbols]),
+             min(self.chunk_symbols, symbols.size - start))
+            for start in range(0, symbols.size, self.chunk_symbols)
+        ]
 
     def sign(self, page) -> Signature:
         """Signature of the whole page via chunk-and-combine.
@@ -66,9 +83,9 @@ class ChunkedSigner:
         Section 4.2 applied to one logical signature).
         """
         chunks = self.chunk_signatures(page)
-        registry = get_registry()
-        registry.counter("sig.fast.full_recomputes").inc()
-        registry.counter("sig.fast.chunks_signed").inc(len(chunks))
+        full, _incremental, signed = self._counters()
+        full.inc()
+        signed.inc(len(chunks))
         signature, _total = concat_all(self.scheme, chunks)
         return signature
 
@@ -84,13 +101,37 @@ class ChunkedSigner:
         new_symbols = self.scheme.to_symbols(new_chunk)
         if new_symbols.size != chunks[chunk_index][1]:
             raise SignatureError("replacement chunk must keep its length")
-        registry = get_registry()
-        registry.counter("sig.fast.incremental_recomputes").inc()
-        registry.counter("sig.fast.chunks_signed").inc()
+        _full, incremental, signed = self._counters()
+        incremental.inc()
+        signed.inc()
         updated = list(chunks)
         updated[chunk_index] = (self.scheme.sign(new_symbols), new_symbols.size)
         signature, _total = concat_all(self.scheme, updated)
         return signature, updated
+
+
+#: Module-level cache of 64 K-entry paired tables, shared by every
+#: signer: keyed by ``(scheme_id, coordinate_index)``, built on first
+#: use.  Constructing N signers over the same scheme costs one build.
+_PAIRED_LOCK = threading.Lock()
+_PAIRED_TABLES: dict[tuple, np.ndarray] = {}
+
+
+def _paired_table(scheme: AlgebraicSignatureScheme, coordinate: int) -> np.ndarray:
+    """The (cached) paired table of one base coordinate."""
+    key = (scheme.scheme_id, coordinate)
+    with _PAIRED_LOCK:
+        table = _PAIRED_TABLES.get(key)
+        if table is None:
+            field = scheme.field
+            beta = scheme.base.betas[coordinate]
+            a = np.arange(256, dtype=np.int64)
+            b_scaled = scale(field, a, beta)            # b * beta for b=0..255
+            # table[(b << 8) | a] = a ^ b*beta
+            table = (a[None, :] ^ b_scaled[:, None]).reshape(-1)
+            table.flags.writeable = False
+            _PAIRED_TABLES[key] = table
+    return table
 
 
 class PairedTableSigner:
@@ -103,6 +144,10 @@ class PairedTableSigner:
     *pair* plus the positional scaling.  This is the table-compaction
     idea Broder applies to Rabin fingerprints, transplanted to the
     algebraic signature.
+
+    The 64 K-entry tables are built lazily and shared process-wide per
+    ``(scheme_id, coordinate)`` -- constructing additional signers over
+    the same scheme never rebuilds them.
     """
 
     def __init__(self, scheme: AlgebraicSignatureScheme):
@@ -110,15 +155,13 @@ class PairedTableSigner:
             raise SignatureError("paired tables are built for GF(2^8) schemes")
         self.scheme = scheme
         field = scheme.field
-        a = np.arange(256, dtype=np.int64)
-        self._tables = []
-        self._pair_steps = []
-        for beta in scheme.base.betas:
-            b_scaled = scale(field, a, beta)            # b * beta for b=0..255
-            table = (a[None, :] ^ b_scaled[:, None]).reshape(-1)
-            # table[(b << 8) | a] = a ^ b*beta
-            self._tables.append(table)
-            self._pair_steps.append(field.pow(beta, 2))  # beta^2 per pair step
+        self._pair_steps = [field.pow(beta, 2)           # beta^2 per pair step
+                            for beta in scheme.base.betas]
+
+    @property
+    def _tables(self) -> list[np.ndarray]:
+        """The shared per-coordinate tables (built on first access)."""
+        return [_paired_table(self.scheme, j) for j in range(self.scheme.n)]
 
     def sign(self, page) -> Signature:
         """Signature via paired-table gathers; equals ``scheme.sign``."""

@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import PageTooLongError, SignatureError
 from ..gf.field import GF, GField
 from ..gf.vectorized import as_symbol_array, signature_vector
-from ..obs import get_registry
+from ..obs import registry as _obs
 from .base import STANDARD, SignatureBase, make_base
 from .signature import SchemeId, Signature
 
@@ -62,21 +62,23 @@ class AlgebraicSignatureScheme:
             variant=variant,
         )
         self._obs_labels = {"field": f"gf{field.f}", "variant": variant}
-        self._obs_registry = None
+        self._obs_epoch = -1
         self._obs_handles: dict = {}
 
-    def _count_signed(self, symbols: int, algo: str) -> None:
-        """Emit ``sig.sign_calls`` / ``sig.bytes_signed`` for one signing.
+    def _count_signed(self, symbols: int, algo: str, calls: int = 1) -> None:
+        """Emit ``sig.sign_calls`` / ``sig.bytes_signed`` for signings.
 
-        Handles are cached per (registry, algo) so the hot vectorized
-        path pays two dict probes, not a registry lookup, per call.
+        The registry is resolved once per signer and refreshed only when
+        ``use_registry``/``set_registry`` switches it (epoch compare), so
+        the hot path pays one attribute load and a dict probe per call --
+        and batch callers amortize even that over ``calls`` pages.
         """
-        registry = get_registry()
-        if registry is not self._obs_registry:
-            self._obs_registry = registry
+        if self._obs_epoch != _obs.epoch:
+            self._obs_epoch = _obs.epoch
             self._obs_handles = {}
         handles = self._obs_handles.get(algo)
         if handles is None:
+            registry = _obs.get_registry()
             handles = (
                 registry.counter("sig.sign_calls", algo=algo,
                                  **self._obs_labels),
@@ -84,7 +86,7 @@ class AlgebraicSignatureScheme:
                                  **self._obs_labels),
             )
             self._obs_handles[algo] = handles
-        handles[0].inc()
+        handles[0].inc(calls)
         handles[1].inc(symbols * self.scheme_id.symbol_bytes)
 
     # ------------------------------------------------------------------

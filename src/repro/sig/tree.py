@@ -23,7 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import SignatureError
+from ..gf.vectorized import fold_concat_level
 from .algebra import concat_all
 from .compound import SignatureMap
 from .scheme import AlgebraicSignatureScheme
@@ -63,22 +66,35 @@ class SignatureTree:
     @classmethod
     def from_leaves(cls, scheme: AlgebraicSignatureScheme,
                     leaves: list[tuple[Signature, int]], fanout: int = 16) -> "SignatureTree":
-        """Build a tree from ``(signature, symbol_length)`` leaves."""
+        """Build a tree from ``(signature, symbol_length)`` leaves.
+
+        The whole internal structure is folded level-by-level through
+        the vectorized Proposition-5 kernel
+        (:func:`~repro.gf.vectorized.fold_concat_level`): every parent
+        of a level is computed in one numpy pass, identical node for
+        node to the sequential ``concat_all`` fold.
+        """
         if fanout < 2:
             raise SignatureError("tree fanout must be at least 2")
         if not leaves:
             raise SignatureError("cannot build a signature tree with no leaves")
+        for signature, _length in leaves:
+            if signature.scheme_id != scheme.scheme_id:
+                raise SignatureError("signatures do not belong to this scheme")
         levels = [[TreeNode(sig, length) for sig, length in leaves]]
+        components = np.array([sig.components for sig, _ in leaves],
+                              dtype=np.int64)
+        lengths = np.array([length for _, length in leaves], dtype=np.int64)
+        scheme_id = scheme.scheme_id
         while len(levels[-1]) > 1:
-            children = levels[-1]
-            parents = []
-            for start in range(0, len(children), fanout):
-                group = children[start:start + fanout]
-                sig, total = concat_all(
-                    scheme, [(node.signature, node.symbols) for node in group]
-                )
-                parents.append(TreeNode(sig, total))
-            levels.append(parents)
+            components, lengths = fold_concat_level(
+                scheme.field, components, lengths, scheme.base.betas, fanout
+            )
+            levels.append([
+                TreeNode(Signature(tuple(int(c) for c in row), scheme_id),
+                         int(total))
+                for row, total in zip(components, lengths)
+            ])
         return cls(scheme, fanout, levels)
 
     @classmethod

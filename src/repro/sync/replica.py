@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from ..errors import ReproError
 from ..obs import get_registry
 from ..sig.compound import SignatureMap
+from ..sig.engine import get_batch_signer
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.tree import SignatureTree
 from ..sim.network import SimNetwork
@@ -73,9 +74,13 @@ class Replica:
         self.data[index * self.page_bytes:end] = content
 
     def signature_map(self) -> SignatureMap:
-        """The replica's current per-page signature map."""
-        return SignatureMap.compute(self.scheme, bytes(self.data),
-                                    self.page_symbols)
+        """The replica's current per-page signature map.
+
+        Signed through the shared batch engine: every reconciliation
+        seals all its pages in whole-bucket kernel passes.
+        """
+        return get_batch_signer(self.scheme).sign_map(bytes(self.data),
+                                                      self.page_symbols)
 
     def signature_tree(self, fanout: int = 16) -> SignatureTree:
         """The replica's current signature tree."""

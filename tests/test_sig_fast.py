@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SignatureError
-from repro.sig import ChunkedSigner, PairedTableSigner, make_scheme
+from repro.sig import PRIMITIVE, ChunkedSigner, PairedTableSigner, make_scheme
 
 
 class TestChunkedSigner:
@@ -102,3 +102,54 @@ class TestPairedTableSigner:
         signer = PairedTableSigner(scheme)
         assert len(signer._tables) == scheme.n
         assert signer._tables[0].size == 1 << 16
+
+
+class TestChunkedSignerEdgeCases:
+    """PR 3 regression tests: degenerate page shapes round-trip exactly."""
+
+    def test_empty_page_yields_canonical_empty_chunk(self):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=16)
+        chunks = signer.chunk_signatures(b"")
+        assert chunks == [(scheme.sign(b""), 0)]
+        assert signer.sign(b"") == scheme.sign(b"")
+
+    def test_one_symbol_page(self):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=16)
+        page = b"\x7f\x01"   # one 16-bit symbol
+        chunks = signer.chunk_signatures(page)
+        assert [length for _, length in chunks] == [1]
+        assert signer.sign(page) == scheme.sign(page)
+
+    def test_exact_chunk_multiple_has_no_phantom_chunk(self):
+        scheme = make_scheme(f=16, n=2)
+        signer = ChunkedSigner(scheme, chunk_symbols=8)
+        page = np.arange(24, dtype=np.int64)   # exactly 3 chunks
+        chunks = signer.chunk_signatures(page)
+        assert [length for _, length in chunks] == [8, 8, 8]
+        assert signer.sign(page) == scheme.sign(page)
+
+
+class TestPairedTableSharing:
+    """PR 3 regression tests: 64 K-entry tables are built once, shared."""
+
+    def test_two_signers_share_the_same_tables(self):
+        scheme = make_scheme(f=8, n=2)
+        first = PairedTableSigner(scheme)
+        second = PairedTableSigner(scheme)
+        for mine, theirs in zip(first._tables, second._tables):
+            assert mine is theirs
+        assert first.sign(b"shared") == scheme.sign(b"shared")
+
+    def test_tables_are_read_only(self):
+        scheme = make_scheme(f=8, n=2)
+        table = PairedTableSigner(scheme)._tables[0]
+        with pytest.raises(ValueError):
+            table[0] = 1
+
+    def test_distinct_schemes_get_distinct_tables(self):
+        plain = PairedTableSigner(make_scheme(f=8, n=2))
+        primitive = PairedTableSigner(make_scheme(f=8, n=2,
+                                                  variant=PRIMITIVE))
+        assert plain._tables[1] is not primitive._tables[1]
