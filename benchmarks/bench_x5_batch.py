@@ -5,7 +5,7 @@ PR 3's tentpole: :class:`repro.sig.BatchSigner` signs N pages in one
 coordinate for the whole batch) through a shared β-power-ladder cache.
 This benchmark reruns the ``python -m repro bench --json`` harness in
 quick mode and reports its table; the committed full run lives in
-``BENCH_pr3.json``.
+``BENCH_pr4.json``.
 
 Acceptance asserted here:
 

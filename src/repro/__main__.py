@@ -8,7 +8,7 @@ Commands:
                      print the paper-reproduction tables; with
                      ``--json [--quick]`` run the signing-throughput
                      harness instead and print its stable JSON document
-                     (the ``BENCH_pr3.json`` format)
+                     (the ``BENCH_pr4.json`` format)
 * ``examples``    -- run every example script in sequence
 * ``recommend <page_bytes>`` -- print the scheme the Section 5.2
                      reasoning picks for that page size

@@ -9,6 +9,13 @@ makes it the ground-truth comparator for the signature map: every page
 the tracker marks dirty whose bytes actually changed must also be found
 by the signatures, and the signatures additionally ignore writes that
 restored identical bytes.
+
+The tracker also keeps a per-page dirty byte *extent* -- the first and
+last written offset since the last reset.  The incremental signature
+plane uses it to decide between the O(|delta|) Proposition-3 fold and a
+full-page re-sign: once writes have smeared across most of a page, the
+extent covers it and re-signing the page outright is cheaper than
+folding many journal regions (:meth:`DirtyBitTracker.fallback_pages`).
 """
 
 from __future__ import annotations
@@ -16,16 +23,27 @@ from __future__ import annotations
 from ..errors import BackupError
 from ..sdds.heap import RecordHeap
 
+#: Default dirty fraction beyond which a full-page re-sign beats folding.
+FULL_RESIGN_FRACTION = 0.5
+
 
 class DirtyBitTracker:
-    """Page-granular dirty bits fed by heap write notifications."""
+    """Page-granular dirty bits (plus byte extents) fed by heap writes."""
 
-    def __init__(self, heap: RecordHeap, page_bytes: int):
+    def __init__(self, heap: RecordHeap, page_bytes: int,
+                 full_resign_fraction: float = FULL_RESIGN_FRACTION):
         if page_bytes <= 0:
             raise BackupError("page size must be positive")
+        if not 0.0 < full_resign_fraction <= 1.0:
+            raise BackupError("full re-sign fraction must be in (0, 1]")
         self.heap = heap
         self.page_bytes = page_bytes
+        self.full_resign_fraction = full_resign_fraction
         self._dirty: set[int] = set()
+        #: page -> (lo, hi): half-open absolute byte extent written since
+        #: the last reset.  Pages dirtied without offset information
+        #: (mark_all_dirty) carry their full page span.
+        self._extents: dict[int, tuple[int, int]] = {}
         heap.add_write_listener(self._on_write)
         # Everything is dirty until the first full backup.
         self.mark_all_dirty()
@@ -35,6 +53,16 @@ class DirtyBitTracker:
             return
         first = offset // self.page_bytes
         last = (offset + length - 1) // self.page_bytes
+        for page in range(first, last + 1):
+            page_lo = page * self.page_bytes
+            page_hi = page_lo + self.page_bytes
+            lo = max(offset, page_lo)
+            hi = min(offset + length, page_hi)
+            known = self._extents.get(page)
+            if known is not None:
+                lo = min(lo, known[0])
+                hi = max(hi, known[1])
+            self._extents[page] = (lo, hi)
         self._dirty.update(range(first, last + 1))
 
     @property
@@ -44,18 +72,57 @@ class DirtyBitTracker:
 
     def mark_all_dirty(self) -> None:
         """Mark every current page dirty (initial state)."""
-        self._dirty.update(range(self.page_count))
+        for page in range(self.page_count):
+            self._dirty.add(page)
+            self._extents[page] = (
+                page * self.page_bytes,
+                min((page + 1) * self.page_bytes, self.heap.size),
+            )
 
     def dirty_pages(self) -> list[int]:
         """Sorted indices of pages written since the last reset."""
         return sorted(index for index in self._dirty if index < self.page_count)
 
+    def dirty_extent(self, index: int) -> tuple[int, int] | None:
+        """Half-open absolute byte extent written on ``index``, or None.
+
+        The extent brackets every write to the page since the last
+        reset: bytes outside ``[lo, hi)`` are certainly clean, so an
+        incremental re-sign only needs to fold that span.
+        """
+        if index not in self._dirty or index >= self.page_count:
+            return None
+        return self._extents.get(index)
+
+    def dirty_fraction(self, index: int) -> float:
+        """Fraction of page ``index`` covered by its dirty extent."""
+        extent = self.dirty_extent(index)
+        if extent is None:
+            return 0.0
+        return (extent[1] - extent[0]) / self.page_bytes
+
+    def fallback_pages(self) -> list[int]:
+        """Dirty pages whose extent warrants a full-page re-sign.
+
+        A page whose dirty span covers at least
+        :attr:`full_resign_fraction` of it gains little from the
+        Proposition-3 fold -- one contiguous re-sign of the page is
+        simpler and at most a small constant factor more work.
+        """
+        return [
+            index for index in self.dirty_pages()
+            if self.dirty_fraction(index) >= self.full_resign_fraction
+        ]
+
     def reset(self, pages: list[int] | None = None) -> None:
         """Clear dirty bits (all, or just the pages that went to disk)."""
         if pages is None:
             self._dirty.clear()
+            self._extents.clear()
         else:
             self._dirty.difference_update(pages)
+            for page in pages:
+                self._extents.pop(page, None)
 
     def is_dirty(self, index: int) -> bool:
         """True if the page was written since the last reset."""

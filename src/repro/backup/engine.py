@@ -22,6 +22,7 @@ from ..obs import get_registry
 from ..sdds.bucket import Bucket
 from ..sig.compound import SignatureMap
 from ..sig.engine import BatchSigner
+from ..sig.incremental import IncrementalSignatureMap, WriteJournal
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.tree import SignatureTree
 from ..sim.disk import SimDisk
@@ -165,6 +166,149 @@ class BackupEngine:
             write_seconds=write_seconds,
             tree_comparisons=tree_comparisons,
         )
+
+    def backup_incremental(self, volume: str, image: bytes | memoryview,
+                           journal: WriteJournal,
+                           tracker: DirtyBitTracker | None = None) -> BackupReport:
+        """Back up from a write journal in O(|journal|) signature work.
+
+        Instead of re-signing the whole image (:meth:`backup`), the
+        journaled ``(offset, before, after)`` regions are folded into
+        the volume's stored map via the batched Proposition-3 kernel,
+        and only pages whose signature actually changed are written --
+        pseudo-writes that restored identical bytes cost nothing, same
+        as in the full pass.  The resulting map is byte-identical to a
+        from-scratch :meth:`backup` of the same image.
+
+        ``tracker``, when given, supplies per-page dirty byte extents:
+        pages whose extent exceeds the tracker's full-re-sign fraction
+        are re-signed whole from ``image`` (cheaper than folding many
+        smeared regions) and their journal regions are dropped.  Growth
+        beyond the previous image must have started zero-filled before
+        the journaled writes landed (RecordHeap growth guarantees this).
+
+        The first pass on a volume falls back to a full :meth:`backup`
+        (there is no stored map to fold into); the journal is consumed
+        either way.
+        """
+        image = bytes(image)
+        old_map = self._maps.get(volume)
+        if journal.symbol_bytes != self.scheme.scheme_id.symbol_bytes:
+            raise BackupError(
+                f"journal is {journal.symbol_bytes}-byte aligned but the "
+                f"scheme uses {self.scheme.scheme_id.symbol_bytes}-byte symbols"
+            )
+        if old_map is None:
+            journal.clear()
+            if tracker is not None:
+                tracker.reset()
+            return self.backup(volume, image)
+        if tracker is not None and tracker.page_bytes != self.page_bytes:
+            raise BackupError(
+                f"tracker pages ({tracker.page_bytes} B) differ from "
+                f"engine pages ({self.page_bytes} B)"
+            )
+        journaled_bytes = journal.byte_count
+        fallback = set(tracker.fallback_pages()) if tracker is not None else set()
+        incremental = IncrementalSignatureMap(old_map)
+        old_count = old_map.page_count
+        page_bytes = self.page_bytes
+        work = incremental.new_journal()
+        fallback_hit: set[int] = set()
+        for entry in journal.entries:
+            offset, cursor, length = entry.offset, 0, len(entry.after)
+            while cursor < length:
+                at = offset + cursor
+                page = at // page_bytes
+                take = min(length - cursor, (page + 1) * page_bytes - at)
+                if page in fallback:
+                    fallback_hit.add(page)
+                else:
+                    work.record(at, entry.before[cursor:cursor + take],
+                                entry.after[cursor:cursor + take])
+                cursor += take
+        journal.clear()
+        fold = incremental.apply_journal(work, total_bytes=len(image))
+        leaf_deltas = dict(fold.leaf_deltas)
+        changed = set(leaf_deltas)
+        # Full-page re-sign fallback for smeared pages.
+        fallback_list = sorted(
+            page for page in fallback_hit if page < incremental.map.page_count
+        )
+        fallback_bytes = 0
+        if fallback_list:
+            pages = [image[page * page_bytes:(page + 1) * page_bytes]
+                     for page in fallback_list]
+            fallback_bytes = sum(len(page) for page in pages)
+            for page, signature in zip(
+                fallback_list, self._signer.sign_many(pages, strict=False)
+            ):
+                old_sig = incremental.map.signatures[page]
+                if old_sig != signature:
+                    incremental.map.signatures[page] = signature
+                    leaf_deltas[page] = old_sig ^ signature
+                    changed.add(page)
+        # Pages beyond the previous image never reached disk at all.
+        changed.update(range(old_count, incremental.map.page_count))
+        sig_seconds = self.cpu.sig_time(fold.bytes_folded + fallback_bytes)
+        self.disk.clock.advance(sig_seconds)
+        write_seconds = 0.0
+        bytes_written = 0
+        for index in sorted(changed):
+            page = image[index * page_bytes:(index + 1) * page_bytes]
+            write_seconds += self.disk.write_page(
+                volume, index, page, page_bytes
+            )
+            bytes_written += len(page)
+        if self.use_tree:
+            tree = self._trees.get(volume)
+            if tree is None or fold.resized:
+                self._trees[volume] = SignatureTree.from_map(
+                    incremental.map, self.tree_fanout
+                )
+            else:
+                tree.apply_leaf_deltas(leaf_deltas)
+        if tracker is not None:
+            tracker.reset()
+        registry = get_registry()
+        registry.counter("backup.passes", engine="incremental").inc()
+        registry.counter("backup.pages_scanned",
+                         engine="incremental").inc(len(changed))
+        registry.counter("backup.pages_written",
+                         engine="incremental").inc(len(changed))
+        registry.counter("backup.pages_skipped", engine="incremental").inc(
+            max(0, incremental.map.page_count - len(changed))
+        )
+        registry.counter("backup.bytes_written",
+                         engine="incremental").inc(bytes_written)
+        registry.counter("backup.bytes_journaled").inc(journaled_bytes)
+        registry.counter("backup.incremental_fallbacks").inc(len(fallback_list))
+        return BackupReport(
+            volume=volume,
+            pages_total=incremental.map.page_count,
+            pages_written=len(changed),
+            bytes_written=bytes_written,
+            sig_seconds=sig_seconds,
+            write_seconds=write_seconds,
+        )
+
+    def attach_heap(self, heap, journal: WriteJournal | None = None) -> WriteJournal:
+        """Wire a :class:`~repro.sdds.heap.RecordHeap` into a journal.
+
+        Registers a symbol-aligned capture listener so every heap write
+        (including the zeroing done by ``free``) lands in the returned
+        journal, ready for :meth:`backup_incremental`.
+        """
+        symbol_bytes = self.scheme.scheme_id.symbol_bytes
+        if journal is None:
+            journal = WriteJournal(symbol_bytes=symbol_bytes)
+        elif journal.symbol_bytes != symbol_bytes:
+            raise BackupError(
+                f"journal is {journal.symbol_bytes}-byte aligned but the "
+                f"scheme uses {symbol_bytes}-byte symbols"
+            )
+        heap.add_capture_listener(journal.record, align=symbol_bytes)
+        return journal
 
     def backup_bucket(self, volume: str, bucket: Bucket,
                       index_page_bytes: int = 128) -> tuple[BackupReport, BackupReport]:

@@ -1,8 +1,8 @@
 """Signing-throughput benchmark harness: ``python -m repro bench --json``.
 
-Times the five signing paths over identical 64 KiB random pages and
-emits one stable JSON document (``BENCH_pr3.json`` at the repo root is
-a committed run):
+Times the signing paths over identical 64 KiB random pages and emits
+one stable JSON document (``BENCH_pr4.json`` at the repo root is a
+committed run):
 
 * ``scalar``  -- :meth:`~repro.sig.scheme.AlgebraicSignatureScheme.sign_scalar`,
   the paper's symbol-at-a-time loop (Section 5.1's pseudo-code).
@@ -13,6 +13,14 @@ a committed run):
   pages in 2-D kernel passes through the shared power-ladder cache.
 * ``batch_workers`` -- the same engine with a thread pool splitting the
   page matrix into per-worker row blocks.
+* ``map_rescan`` -- ``BatchSigner.sign_map`` over the whole image: the
+  full batched signature-map rebuild an update cycle pays without the
+  incremental plane.
+* ``incremental`` -- the O(|delta|) cycle: a journal holding
+  ``dirty_fraction`` of the image's bytes is folded into a warm
+  :class:`~repro.sig.incremental.IncrementalSignatureMap`
+  (Proposition 3 batched); the resulting map is verified byte-identical
+  to the ``map_rescan`` rebuild before either is timed.
 
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
@@ -32,14 +40,20 @@ import time
 import numpy as np
 
 from .errors import ReproError
-from .sig import BatchSigner, ChunkedSigner, make_scheme
+from .sig import (BatchSigner, ChunkedSigner, IncrementalSignatureMap,
+                  JournalEntry, SignatureMap, make_scheme)
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v1"
+SCHEMA = "repro.bench/batch-engine/v2"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
 WORKERS = 4
+#: Fraction of the image's bytes journaled for the incremental path
+#: (the sparse-update regime the O(|delta|) plane is built for).
+DIRTY_FRACTION = 0.01
+#: Journaled write region size in bytes (symbol-aligned for both fields).
+DIRTY_REGION_BYTES = 64
 
 #: (field width f, components n): equal 4-byte signature strength.
 FIELDS = ((16, 2), (8, 4))
@@ -65,6 +79,30 @@ def _best_seconds(fn, repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _make_dirty_journal(buffer: bytes, seed: int) -> tuple[bytes, list[JournalEntry]]:
+    """Journal ``DIRTY_FRACTION`` of ``buffer`` as scattered region writes.
+
+    Returns the mutated buffer and the (offset, before, after) entries,
+    deterministic in ``seed``.  Regions are disjoint, symbol-aligned and
+    spread over the whole image, so the fold exercises page splitting
+    and per-page grouping rather than one contiguous run.
+    """
+    rng = np.random.default_rng(seed + 1)
+    slots = len(buffer) // DIRTY_REGION_BYTES
+    count = max(1, int(len(buffer) * DIRTY_FRACTION) // DIRTY_REGION_BYTES)
+    offsets = rng.choice(slots, size=min(count, slots), replace=False)
+    mutated = bytearray(buffer)
+    entries = []
+    for slot in sorted(int(o) for o in offsets):
+        offset = slot * DIRTY_REGION_BYTES
+        before = bytes(mutated[offset:offset + DIRTY_REGION_BYTES])
+        after = rng.integers(0, 256, size=DIRTY_REGION_BYTES,
+                             dtype=np.uint8).tobytes()
+        mutated[offset:offset + DIRTY_REGION_BYTES] = after
+        entries.append(JournalEntry(offset, before, after))
+    return bytes(mutated), entries
 
 
 def _entry(path: str, pages: int, seconds: float) -> dict:
@@ -106,6 +144,33 @@ def _bench_field(f: int, n: int, pages: list[bytes], scalar_pages: int,
             raise BenchError(f"{path} path diverged from scheme.sign "
                              f"on GF(2^{f})")
 
+    # Incremental maintenance cycle: fold a sparse journal into a warm
+    # map vs rebuilding the whole signature map from the image.
+    buffer = b"".join(pages)
+    symbol_bytes = scheme.scheme_id.symbol_bytes
+    page_symbols = min(PAGE_BYTES // symbol_bytes, scheme.max_page_symbols)
+    mutated, entries = _make_dirty_journal(buffer, SEED)
+    base_map = SignatureMap.compute(scheme, buffer, page_symbols)
+
+    def rescan() -> SignatureMap:
+        return single.sign_map(mutated, page_symbols)
+
+    def fold() -> SignatureMap:
+        warm = IncrementalSignatureMap(SignatureMap(
+            scheme, page_symbols, list(base_map.signatures),
+            base_map.total_symbols,
+        ))
+        journal = warm.new_journal()
+        journal.entries.extend(entries)
+        warm.apply_journal(journal, total_bytes=len(mutated))
+        return warm.map
+
+    rebuilt, folded = rescan(), fold()
+    if (folded.signatures != rebuilt.signatures
+            or folded.total_symbols != rebuilt.total_symbols):
+        raise BenchError(f"incremental fold diverged from the full map "
+                         f"rescan on GF(2^{f})")
+
     results = [
         _entry("scalar", len(scalar_subset),
                _best_seconds(checks["scalar"], repeats)),
@@ -115,12 +180,16 @@ def _bench_field(f: int, n: int, pages: list[bytes], scalar_pages: int,
         _entry("batch", len(pages), _best_seconds(checks["batch"], repeats)),
         _entry("batch_workers", len(pages),
                _best_seconds(checks["batch_workers"], repeats)),
+        _entry("map_rescan", len(pages), _best_seconds(rescan, repeats)),
+        _entry("incremental", len(pages), _best_seconds(fold, repeats)),
     ]
     rates = {row["path"]: row["pages_per_s"] for row in results}
     return {
         "field": f"gf{f}",
         "f": f,
         "n": n,
+        "map_page_symbols": page_symbols,
+        "dirty_bytes": sum(len(e.after) for e in entries),
         "results": results,
         "speedups": {
             "batch_vs_scalar": round(rates["batch"] / rates["scalar"], 2),
@@ -128,6 +197,8 @@ def _bench_field(f: int, n: int, pages: list[bytes], scalar_pages: int,
             "batch_vs_chunked": round(rates["batch"] / rates["chunked"], 2),
             "workers_vs_batch": round(rates["batch_workers"] / rates["batch"],
                                       2),
+            "incremental_vs_batch": round(
+                rates["incremental"] / rates["map_rescan"], 2),
         },
     }
 
@@ -148,9 +219,11 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
             "workers": workers,
             "seed": SEED,
             "quick": quick,
+            "dirty_fraction": DIRTY_FRACTION,
+            "dirty_region_bytes": DIRTY_REGION_BYTES,
             "fields": [{"f": f, "n": n} for f, n in FIELDS],
             "paths": ["scalar", "vector", "chunked", "batch",
-                      "batch_workers"],
+                      "batch_workers", "map_rescan", "incremental"],
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)

@@ -48,6 +48,7 @@ REQUEST_KINDS = {wire.OP_INSERT: "c_insert", wire.OP_SEARCH: "c_search",
                  wire.OP_UPDATE: "c_update", wire.OP_DELETE: "c_delete"}
 REPLY_KIND = "c_reply"
 MIRROR_KIND = "c_mirror_page"
+DELTA_KIND = "c_mirror_delta"
 
 
 class NodeState(Enum):
@@ -197,40 +198,87 @@ class ClusterNode:
         """The current bucket image bytes."""
         return bytes(self.image.data)
 
+    def _changed_extents(self, previous: bytes,
+                         current: bytes) -> list[tuple[int, int]]:
+        """Symbol-aligned byte extents where the two images differ.
+
+        Computed page by page (bounding the extent scan to dirty pages);
+        within a differing page the extent brackets the first and last
+        differing byte, expanded to symbol boundaries.  Bytes past the
+        shorter image count as differing.
+        """
+        from ..sig.incremental import aligned_span
+
+        symbol_bytes = self.scheme.scheme_id.symbol_bytes
+        longest = max(len(previous), len(current))
+        extents: list[tuple[int, int]] = []
+        page_bytes = self.page_bytes
+        for lo in range(0, longest, page_bytes):
+            hi = min(lo + page_bytes, longest)
+            old_page = previous[lo:hi]
+            new_page = current[lo:hi]
+            if old_page == new_page:
+                continue
+            span = max(len(old_page), len(new_page))
+            first = next(
+                i for i in range(span)
+                if (old_page[i:i + 1] or None) != (new_page[i:i + 1] or None)
+            )
+            last = next(
+                i for i in range(span - 1, -1, -1)
+                if (old_page[i:i + 1] or None) != (new_page[i:i + 1] or None)
+            )
+            a, b = aligned_span(lo + first, last - first + 1, symbol_bytes)
+            extents.append((a, min(b, lo + span)))
+        return extents
+
     def refresh_image(self, send_mirror_updates: bool = False,
                       previous: bytes | None = None) -> None:
-        """Re-serialize the bucket; optionally ship changed pages.
+        """Re-serialize the bucket; optionally ship the changed extents.
 
-        Mirror updates are *best effort*: they ride the faulty network
-        with no retry, so drops and detected corruptions leave the
-        mirror stale until the next anti-entropy pass.
+        The image replica is updated through journaled extent writes --
+        O(|changed bytes|) signature work to keep its warm map current,
+        never a whole-buffer rewrite.  Mirror updates ship as sealed
+        ``(offset, delta, sig)`` frames carrying ``before XOR after`` of
+        each extent, *best effort*: they ride the faulty network with no
+        retry, so drops and detected corruptions leave the mirror stale
+        until the next anti-entropy pass.
         """
         if previous is None:
             previous = self.image_bytes()
         current = serialize_bucket(self.server)
-        self.image.data[:] = current
-        if not send_mirror_updates or current == previous:
+        extents = self._changed_extents(previous, current)
+        for lo, hi in extents:
+            if lo < len(current):
+                self.image.write_at(lo, current[lo:min(hi, len(current))])
+        if len(current) < len(self.image.data):
+            self.image.truncate(len(current))
+        if not send_mirror_updates or not extents:
             return
         host = self.cluster.mirror_host(self.index)
-        pages = max(len(current), len(previous))
-        pages = (pages + self.page_bytes - 1) // self.page_bytes
         bodies = []
-        for index in range(pages):
-            lo, hi = index * self.page_bytes, (index + 1) * self.page_bytes
-            if current[lo:hi] == previous[lo:hi]:
-                continue
-            bodies.append(wire.encode_mirror(len(current), index,
-                                             current[lo:hi]))
-        if not bodies:
-            return
-        # One batched signing pass seals the whole burst of page updates.
+        delta_bytes = 0
+        for lo, hi in extents:
+            old_part = previous[lo:hi]
+            new_part = current[lo:hi]
+            width = max(len(old_part), len(new_part))
+            delta = (
+                int.from_bytes(old_part, "little")
+                ^ int.from_bytes(new_part, "little")
+            ).to_bytes(width, "little")
+            bodies.append(wire.encode_delta(len(current), lo, delta))
+            delta_bytes += len(delta)
+        # One batched signing pass seals the whole burst of patches.
         for sealed in wire.seal_many(self.scheme, bodies):
             self.cluster.faulty_network.transmit(
-                self.name, host.name, MIRROR_KIND, sealed,
-                host.receive_mirror,
+                self.name, host.name, DELTA_KIND, sealed,
+                host.receive_mirror_delta,
             )
-        get_registry().counter("cluster.mirror_pages",
-                               source=self.name).inc(len(bodies))
+        registry = get_registry()
+        registry.counter("cluster.mirror_deltas",
+                         source=self.name).inc(len(bodies))
+        registry.counter("cluster.mirror_delta_bytes",
+                         source=self.name).inc(delta_bytes)
 
     def receive_mirror(self, data: bytes) -> None:
         """Apply one delivered mirror page update to the hosted mirror."""
@@ -246,7 +294,29 @@ class ClusterNode:
         image_len, page_index, page = wire.decode_mirror(body)
         self.mirror.write_page(page_index, page)
         if len(self.mirror.data) > image_len:
-            del self.mirror.data[image_len:]
+            self.mirror.truncate(image_len)
+
+    def receive_mirror_delta(self, data: bytes) -> None:
+        """XOR one delivered delta patch onto the hosted mirror.
+
+        The seal covers the delta frame, so a corrupted patch is
+        *detected and dropped* (certainly for <= n corrupted symbols,
+        Proposition 1) rather than applied -- the mirror is then merely
+        stale, which anti-entropy repairs.
+        """
+        body = wire.unseal(self.scheme, data)
+        registry = get_registry()
+        if body is None:
+            registry.counter("cluster.corruptions_detected",
+                             where="mirror").inc()
+            return
+        if not self.is_up or self.mirror is None:
+            registry.counter("cluster.down_drops", node=self.name).inc()
+            return
+        image_len, offset, delta = wire.decode_delta(body)
+        self.mirror.apply_xor(offset, delta)
+        if len(self.mirror.data) > image_len:
+            self.mirror.truncate(image_len)
 
     # ------------------------------------------------------------------
     # Lifecycle

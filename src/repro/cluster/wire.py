@@ -15,6 +15,9 @@ deserializer):
 * request:  ``op(1) || request_id(8) || key(4) || value_len(4) || value``
 * reply:    ``status(1) || request_id(8) || value_len(4) || value``
 * mirror:   ``image_len(8) || page_index(4) || page bytes``
+* delta:    ``image_len(8) || offset(8) || delta bytes`` -- a mirror
+  patch carrying only ``before XOR after`` of a changed extent; the
+  seal covers the frame, so corrupt deltas are dropped, not applied.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ ST_NAMES = {ST_INSERTED: "inserted", ST_DUPLICATE: "duplicate",
 _REQUEST = struct.Struct("<BQII")
 _REPLY = struct.Struct("<BQI")
 _MIRROR = struct.Struct("<QI")
+_DELTA = struct.Struct("<QQ")
 
 
 class WireError(ReproError):
@@ -142,3 +146,24 @@ def decode_mirror(body: bytes) -> tuple[int, int, bytes]:
         raise WireError("truncated mirror body")
     image_len, page_index = _MIRROR.unpack_from(body)
     return image_len, page_index, body[_MIRROR.size:]
+
+
+def encode_delta(image_len: int, offset: int, delta: bytes) -> bytes:
+    """Serialize one best-effort mirror *delta* patch.
+
+    ``delta`` is ``before XOR after`` for the changed byte extent at
+    ``offset`` -- typically a few symbols instead of a whole page.  The
+    frame is sealed like every other message, and the seal is computed
+    over the delta content itself, so the receiver applies a patch only
+    when its ``sig(delta)`` verifies (a corrupted patch is certainly
+    detected for <= n corrupted symbols, Proposition 1).
+    """
+    return _DELTA.pack(image_len, offset) + delta
+
+
+def decode_delta(body: bytes) -> tuple[int, int, bytes]:
+    """Inverse of :func:`encode_delta`: (image_len, offset, delta)."""
+    if len(body) < _DELTA.size:
+        raise WireError("truncated delta body")
+    image_len, offset = _DELTA.unpack_from(body)
+    return image_len, offset, body[_DELTA.size:]

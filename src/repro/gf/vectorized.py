@@ -317,6 +317,66 @@ def fold_concat_level(field: GField, components: np.ndarray,
     return out, parent_lengths
 
 
+def shift_rows(field: GField, components: np.ndarray, positions: np.ndarray,
+               betas: tuple[int, ...]) -> np.ndarray:
+    """Proposition-3 position shift of many signatures at once.
+
+    ``components`` is an ``(N, n)`` matrix of component signatures and
+    ``positions`` the symbol offset of each row; the result scales row
+    ``k``'s coordinate ``j`` by ``beta_j^{positions[k]}`` -- the
+    ``alpha^r`` factor of ``sig(P') = sig(P) + alpha^r sig(delta)``,
+    evaluated for every row in one gather per base coordinate.
+    """
+    n_rows, n = components.shape
+    out = np.zeros_like(components)
+    if n_rows == 0:
+        return out
+    positions = np.asarray(positions, dtype=np.int64)
+    antilog_double = field._antilog_double
+    for j, beta in enumerate(betas):
+        if beta == 0:
+            raise GaloisFieldError("signature base element must be non-zero")
+        shift = (field.log(beta) * positions) % field.order
+        column = components[:, j]
+        nonzero = column != 0
+        if not nonzero.any():
+            continue
+        logs = field.log_table[column[nonzero]]
+        out[nonzero, j] = antilog_double[logs + shift[nonzero]]
+    return out
+
+
+def delta_signature_matrix(field: GField, matrix: np.ndarray,
+                           positions: np.ndarray, betas: tuple[int, ...],
+                           ladders: tuple[np.ndarray, ...] | None = None) -> np.ndarray:
+    """Shifted component signatures of many delta regions in one pass.
+
+    Row ``k`` of ``matrix`` holds the (zero-padded, already-mapped)
+    delta symbols of one journaled region and ``positions[k]`` its
+    symbol offset within its page; the result row is
+    ``alpha^{r_k} * sig(delta_k)`` -- exactly the term Proposition 3
+    folds into the old page signature.  One
+    :func:`batch_signature_matrix` pass over all regions, then one
+    :func:`shift_rows` pass for the ``alpha^r`` scaling.
+    """
+    components = batch_signature_matrix(field, matrix, betas, ladders)
+    return shift_rows(field, components, positions, betas)
+
+
+def fold_rows_by_group(components: np.ndarray, groups: np.ndarray,
+                       group_count: int) -> np.ndarray:
+    """XOR-fold signature rows that share a group (page) index.
+
+    ``groups[k]`` assigns row ``k`` to an output row; overlapping or
+    multi-write regions of one page XOR-accumulate (field addition), so
+    the result per page is the signature of the page's *net* delta.
+    """
+    out = np.zeros((group_count, components.shape[1]), dtype=np.int64)
+    if components.shape[0]:
+        np.bitwise_xor.at(out, np.asarray(groups, dtype=np.int64), components)
+    return out
+
+
 def prefix_xor(terms: np.ndarray) -> np.ndarray:
     """Exclusive prefix-XOR array of length ``len(terms) + 1``.
 

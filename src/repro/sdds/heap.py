@@ -16,6 +16,7 @@ from typing import Callable
 from ..errors import SDDSError
 
 WriteListener = Callable[[int, int], None]
+CaptureListener = Callable[[int, bytes, bytes], None]
 
 
 class RecordHeap:
@@ -28,6 +29,8 @@ class RecordHeap:
         #: Sorted list of (offset, length) free extents.
         self._free: list[tuple[int, int]] = [(0, initial_bytes)]
         self._listeners: list[WriteListener] = []
+        #: (listener, alignment) pairs fed before/after region content.
+        self._capture_listeners: list[tuple[CaptureListener, int]] = []
         self.allocated_bytes = 0
 
     # ------------------------------------------------------------------
@@ -52,6 +55,21 @@ class RecordHeap:
         impractical, whereas signatures need no hooks at all.
         """
         self._listeners.append(listener)
+
+    def add_capture_listener(self, listener: CaptureListener,
+                             align: int = 1) -> None:
+        """Register ``listener(offset, before, after)`` content capture.
+
+        This is the hook the *incremental* signature plane uses: unlike
+        plain write listeners it receives the region's old and new
+        bytes, expanded to ``align``-byte (symbol) boundaries using the
+        actual arena content -- which keeps mid-symbol writes exact for
+        twisted schemes.  Capture costs one extra slice copy per write,
+        paid only when a journal is attached.
+        """
+        if align <= 0:
+            raise SDDSError("capture alignment must be positive")
+        self._capture_listeners.append((listener, align))
 
     # ------------------------------------------------------------------
     # Allocation
@@ -100,9 +118,20 @@ class RecordHeap:
     # ------------------------------------------------------------------
 
     def _write_raw(self, offset: int, data: bytes) -> None:
+        captures = None
+        if self._capture_listeners and data:
+            captures = []
+            for listener, align in self._capture_listeners:
+                lo = (offset // align) * align
+                hi = min(-(-(offset + len(data)) // align) * align,
+                         len(self._arena))
+                captures.append((listener, lo, bytes(self._arena[lo:hi])))
         self._arena[offset:offset + len(data)] = data
         for listener in self._listeners:
             listener(offset, len(data))
+        if captures:
+            for listener, lo, before in captures:
+                listener(lo, before, bytes(self._arena[lo:lo + len(before)]))
 
     def _check_extent(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > len(self._arena):
@@ -112,7 +141,11 @@ class RecordHeap:
 
     def _grow(self, need: int) -> None:
         old_size = len(self._arena)
-        new_size = max(old_size * 2, old_size + need)
+        # Rounded up to an 8-byte multiple so the arena end always sits
+        # on a symbol boundary for any supported field width -- capture
+        # listeners expand regions to symbol extents and must never be
+        # clipped mid-symbol by the arena edge.
+        new_size = -(-max(old_size * 2, old_size + need) // 8) * 8
         self._arena.extend(bytes(new_size - old_size))
         insort(self._free, (old_size, new_size - old_size))
         self._coalesce()

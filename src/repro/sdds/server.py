@@ -18,10 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from ..errors import DuplicateKeyError, KeyNotFoundError
+from ..errors import DuplicateKeyError, KeyNotFoundError, SDDSError
 from ..obs import get_registry
+from ..sig.algebra import apply_update
+from ..sig.incremental import IncrementalSignatureMap, aligned_span
 from ..sig.rolling import find_signature_matches
 from ..gf.vectorized import all_window_signatures as _window_sigs
+from ..sig.compound import SignatureMap
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.signature import Signature
 from .bucket import Bucket
@@ -46,6 +49,7 @@ class ServerStats:
     updates_applied: int = 0
     updates_rejected: int = 0
     sig_computations: int = 0
+    delta_updates: int = 0
     forwards: int = 0
     scans: int = 0
     scan_candidates: int = 0
@@ -68,6 +72,7 @@ class SDDSServer:
         #: computations moved entirely to the clients).
         self.store_signatures = store_signatures
         self._stored_sigs: dict[int, Signature] = {}
+        self._live_map: IncrementalSignatureMap | None = None
         self.stats = ServerStats()
 
     @property
@@ -143,23 +148,112 @@ class SDDSServer:
         current signature S; ``S != Sb`` proves a concurrent update
         happened between the client's read and this request, so the
         update is abandoned (the client is notified and may redo).
+
+        When the client does not ship an after-signature, the stored
+        signature is maintained through Proposition 3 (`apply_update`):
+        only the changed extent of the record is signed, so a small
+        update to a large record costs O(|delta|), not O(|record|).
         """
-        current = self.record_signature(key)
-        if current is None:
+        try:
+            record = self.bucket.get(key)
+        except KeyNotFoundError:
             return UpdateOutcome.MISSING
+        if self.store_signatures and key in self._stored_sigs:
+            current = self._stored_sigs[key]
+        else:
+            current = self._compute_signature(record.value)
         if current != before_signature:
             self.stats.updates_rejected += 1
             get_registry().counter("sdds.server.updates",
                                    outcome="rejected").inc()
             return UpdateOutcome.CONFLICT
+        before_value = record.value
         self.bucket.update(key, after_value)
         if self.store_signatures:
             if after_signature is None:
-                after_signature = self._compute_signature(after_value)
+                after_signature = self._updated_signature(
+                    current, before_value, after_value)
             self._stored_sigs[key] = after_signature
         self.stats.updates_applied += 1
         get_registry().counter("sdds.server.updates", outcome="applied").inc()
         return UpdateOutcome.APPLIED
+
+    def _updated_signature(self, current: Signature, before_value: bytes,
+                           after_value: bytes) -> Signature:
+        """New stored signature after a record update, in O(|delta|).
+
+        Same-length updates locate the changed byte extent, expand it to
+        symbol boundaries and fold it through Proposition 3 against the
+        stored signature -- the record's untouched bytes are never read
+        again.  (Odd-length GF(2^16) records are safe: both region
+        slices see the same zero-padded last symbol that ``sign`` does.)
+        Length-changing updates fall back to one full signing pass.
+        """
+        if len(before_value) != len(after_value):
+            return self._compute_signature(after_value)
+        if before_value == after_value:
+            return current
+        symbol_bytes = self.scheme.scheme_id.symbol_bytes
+        first = next(i for i, (b, a) in enumerate(zip(before_value, after_value))
+                     if b != a)
+        trailing = next(i for i, (b, a) in enumerate(
+            zip(reversed(before_value), reversed(after_value))) if b != a)
+        lo, hi = aligned_span(first, len(before_value) - trailing - first,
+                              symbol_bytes)
+        if (hi - lo) // symbol_bytes > self.scheme.max_page_symbols:
+            return self._compute_signature(after_value)
+        self.stats.delta_updates += 1
+        get_registry().counter("sdds.server.delta_updates").inc()
+        return apply_update(self.scheme, current, before_value[lo:hi],
+                            after_value[lo:hi], lo // symbol_bytes)
+
+    # ------------------------------------------------------------------
+    # Live bucket signature map (incremental plane over the record heap)
+    # ------------------------------------------------------------------
+
+    def enable_live_map(self, page_bytes: int = 4096) -> None:
+        """Keep a warm signature map of the bucket's heap image.
+
+        Seeds the map with one full batched scan, then registers a
+        capture listener on the record heap so every subsequent insert,
+        update, delete and free lands in a write journal.  After that,
+        :meth:`live_map` costs O(journaled bytes), never O(bucket) --
+        the server-side backup/scan consumers read the map without
+        triggering rescans.
+        """
+        symbol_bytes = self.scheme.scheme_id.symbol_bytes
+        if page_bytes <= 0 or page_bytes % symbol_bytes:
+            raise SDDSError(
+                f"live-map page size {page_bytes} must be a positive "
+                f"multiple of the {symbol_bytes}-byte symbol width"
+            )
+        if self._live_map is not None:
+            raise SDDSError("live map already enabled for this server")
+        heap = self.bucket.heap
+        self._live_map = IncrementalSignatureMap.from_data(
+            self.scheme, bytes(heap.image), page_bytes // symbol_bytes
+        )
+        heap.add_capture_listener(self._live_map.journal.record,
+                                  align=symbol_bytes)
+
+    def live_map(self) -> SignatureMap:
+        """The bucket heap's signature map, folded up to date.
+
+        Requires a prior :meth:`enable_live_map`.  Pending journaled
+        writes are folded in one batched Proposition-3 pass; the result
+        is byte-identical to ``SignatureMap.compute`` over the heap
+        image.
+        """
+        if self._live_map is None:
+            raise SDDSError(
+                f"server {self.server_id} has no live map; call "
+                "enable_live_map() first"
+            )
+        live = self._live_map
+        if live.journal or live.total_bytes != self.bucket.heap.size:
+            live.apply_journal(live.journal,
+                               total_bytes=self.bucket.heap.size)
+        return live.map
 
     # ------------------------------------------------------------------
     # Scan (Section 2.3, server side)

@@ -22,6 +22,8 @@ Sub-modules:
   log-interpretation speed variant (Section 5.1).
 * :mod:`engine`   -- the batched many-page signer (2-D kernels, shared
   β-power ladder cache, optional worker threads).
+* :mod:`incremental` -- write journals and the O(|delta|) in-place
+  signature-map maintenance plane (Proposition 3, batched).
 """
 
 from .base import PRIMITIVE, STANDARD, SignatureBase, make_base
@@ -41,6 +43,13 @@ from .rolling import RollingWindow, find_signature_matches, search
 from .twisted import TwistedScheme, log_interpretation_scheme, sign_log_interpreted_fast
 from .fast import ChunkedSigner, PairedTableSigner
 from .engine import BatchSigner, PowerLadderCache, get_batch_signer
+from .incremental import (
+    FoldReport,
+    IncrementalSignatureMap,
+    JournalEntry,
+    WriteJournal,
+    aligned_span,
+)
 from .multisearch import MultiPatternSearcher
 from .stream import LoggedUpdate, StreamSigner, UpdateLog
 
@@ -76,6 +85,11 @@ __all__ = [
     "BatchSigner",
     "PowerLadderCache",
     "get_batch_signer",
+    "FoldReport",
+    "IncrementalSignatureMap",
+    "JournalEntry",
+    "WriteJournal",
+    "aligned_span",
     "MultiPatternSearcher",
     "StreamSigner",
     "UpdateLog",

@@ -42,9 +42,12 @@ def delta_signature(scheme: AlgebraicSignatureScheme, before_region, after_regio
 
     The delta of Proposition 3 is ``delta_i = p_{r+i} - q_{r+i}``, which
     in characteristic 2 is the symbol-wise XOR of the two regions.
-    Computed as ``sig(before) + sig(after)`` -- equivalent by linearity
-    for plain schemes, and the *only* correct form for twisted schemes
-    (Proposition 6), whose delta lives in the phi-image domain:
+
+    For plain schemes the XOR is taken *first* and signed once (the
+    fused path): ``sig`` is linear in the raw symbols, so
+    ``sig(before XOR after) = sig(before) + sig(after)`` at half the
+    table work.  Twisted schemes (Proposition 6) fall back to signing
+    both regions, because their delta lives in the phi-image domain:
     ``phi(p) + phi(q) != phi(p + q)`` in general.
     """
     before = scheme.to_symbols(before_region)
@@ -53,8 +56,10 @@ def delta_signature(scheme: AlgebraicSignatureScheme, before_region, after_regio
         raise SignatureError(
             f"delta regions must have equal length, got {before.size} vs {after.size}"
         )
-    # Sign the original regions (``to_symbols`` above is only the length
-    # check): twisted schemes apply their bijection inside ``sign``.
+    if scheme.is_linear:
+        return scheme.sign(before ^ after)
+    # Twisted fallback: the bijection is applied inside ``sign`` to each
+    # region separately, and the signatures are added afterwards.
     return scheme.sign(before_region) ^ scheme.sign(after_region)
 
 

@@ -117,6 +117,17 @@ class AlgebraicSignatureScheme:
         """The signature of the empty (or all-zero) page."""
         return Signature(tuple(0 for _ in range(self.n)), self.scheme_id)
 
+    @property
+    def is_linear(self) -> bool:
+        """True when ``sign`` is linear in the *raw* symbols.
+
+        Plain schemes satisfy ``sig(P + Q) = sig(P) + sig(Q)`` over the
+        page symbols themselves, which enables the fused delta path
+        (sign ``before XOR after`` once).  Twisted schemes are linear
+        only in the phi-image domain and override this to ``False``.
+        """
+        return True
+
     def to_symbols(self, page) -> np.ndarray:
         """Coerce bytes or an integer sequence to a raw symbol array."""
         return as_symbol_array(page, self.field)

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import SignatureError
 from ..gf.vectorized import fold_concat_level
-from .algebra import concat_all
+from .algebra import concat_all, shift
 from .compound import SignatureMap
 from .scheme import AlgebraicSignatureScheme
 from .signature import Signature
@@ -193,3 +193,48 @@ class SignatureTree:
             )
             self.levels[level][parent_index] = TreeNode(sig, total)
             child_index = parent_index
+
+    def apply_leaf_deltas(self, leaf_deltas: dict[int, Signature]) -> None:
+        """Fold leaf signature *deltas* in and propagate them to the root.
+
+        ``leaf_deltas`` maps leaf indices to ``new_sig XOR old_sig``
+        (e.g. the net deltas returned by
+        :meth:`repro.sig.engine.BatchSigner.apply_deltas`).  Because a
+        parent is the XOR of its position-shifted children (Proposition
+        5), a child delta propagates as ``beta_j^offset``-shifted delta
+        -- so ancestors shared by several dirty leaves are updated
+        *once*, with the XOR-merged delta, instead of once per leaf as
+        :meth:`update_leaf` would.  Deltas that cancel along the way
+        stop propagating early.
+
+        Valid only while every leaf's symbol length is unchanged; a
+        buffer that grew or shrank needs a rebuild via :meth:`from_map`
+        (algebraic, no re-signing).
+        """
+        scheme_id = self.scheme.scheme_id
+        pending: dict[int, Signature] = {}
+        for index, delta in leaf_deltas.items():
+            if not 0 <= index < self.leaf_count:
+                raise SignatureError(f"leaf index {index} out of range")
+            if delta.scheme_id != scheme_id:
+                raise SignatureError("delta does not belong to this scheme")
+            if not delta.is_zero:
+                pending[int(index)] = delta
+        for level, nodes in enumerate(self.levels):
+            if not pending:
+                break
+            for index, delta in pending.items():
+                node = nodes[index]
+                nodes[index] = TreeNode(node.signature ^ delta, node.symbols)
+            if level == len(self.levels) - 1:
+                break
+            parents: dict[int, Signature] = {}
+            for index, delta in pending.items():
+                parent = index // self.fanout
+                start = parent * self.fanout
+                offset = sum(nodes[i].symbols for i in range(start, index))
+                shifted = shift(self.scheme, delta, offset)
+                previous = parents.get(parent)
+                parents[parent] = shifted if previous is None \
+                    else previous ^ shifted
+            pending = {p: d for p, d in parents.items() if not d.is_zero}

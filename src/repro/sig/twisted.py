@@ -51,6 +51,16 @@ class TwistedScheme(AlgebraicSignatureScheme):
             variant=f"twisted-{phi_name}-{variant}",
         )
 
+    @property
+    def is_linear(self) -> bool:
+        """Twisted signatures are linear in phi-images, not raw symbols.
+
+        ``phi(p) + phi(q) != phi(p + q)`` in general, so the fused
+        sign-the-XOR delta path does not apply to the raw regions; the
+        delta must be formed *after* the bijection (Proposition 6).
+        """
+        return False
+
     def map_symbols(self, symbols: np.ndarray) -> np.ndarray:
         """Apply the bijection phi to every (raw) symbol."""
         return self.phi[symbols]

@@ -28,6 +28,7 @@ from ..errors import ReproError
 from ..obs import get_registry
 from ..sig.compound import SignatureMap
 from ..sig.engine import get_batch_signer
+from ..sig.incremental import IncrementalSignatureMap, aligned_span
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.tree import SignatureTree
 from ..sim.network import SimNetwork
@@ -40,7 +41,15 @@ PAGE_DATA = "sync_page_data"
 
 
 class Replica:
-    """One node's copy of a replicated byte image."""
+    """One node's copy of a replicated byte image.
+
+    The first :meth:`signature_map` call seeds a *warm* incremental map
+    (and :meth:`signature_tree` a warm tree): from then on, every write
+    through :meth:`write_page`, :meth:`apply_xor` or :meth:`truncate` is
+    journaled, and the next signature request folds the journal in
+    O(|written bytes|) instead of re-signing the whole image.  Code
+    that mutates :attr:`data` directly must call :meth:`invalidate`.
+    """
 
     def __init__(self, name: str, scheme: AlgebraicSignatureScheme,
                  data: bytes, page_bytes: int):
@@ -56,6 +65,9 @@ class Replica:
         if self.page_symbols > scheme.max_page_symbols:
             raise ReproError("page size exceeds the certainty bound")
         self.data = bytearray(data)
+        self._incremental: IncrementalSignatureMap | None = None
+        self._tree: SignatureTree | None = None
+        self._tree_fanout: int | None = None
 
     @property
     def page_count(self) -> int:
@@ -66,25 +78,153 @@ class Replica:
         """One page's bytes (the final page may be short)."""
         return bytes(self.data[index * self.page_bytes:(index + 1) * self.page_bytes])
 
+    # ------------------------------------------------------------------
+    # Journaled mutation
+    # ------------------------------------------------------------------
+
+    def _record(self, offset: int, length: int, mutate) -> None:
+        """Run ``mutate()`` with the touched region journaled.
+
+        The region is expanded to symbol boundaries and its before/after
+        content snapshotted around the mutation, so warm signature state
+        stays exact (including for twisted schemes).
+        """
+        tracked = self._incremental is not None and length > 0
+        if tracked:
+            symbol_bytes = self.scheme.scheme_id.symbol_bytes
+            lo, hi = aligned_span(offset, length, symbol_bytes)
+            hi = min(hi, len(self.data))
+            if hi % symbol_bytes:
+                # The image ends mid-symbol; its tail cannot be
+                # journaled exactly, so fall back to a cold re-sign.
+                self.invalidate()
+                tracked = False
+            else:
+                before = bytes(self.data[lo:hi])
+        mutate()
+        if tracked:
+            self._incremental.journal.record(
+                lo, before, bytes(self.data[lo:lo + len(before)])
+            )
+
     def write_page(self, index: int, content: bytes) -> None:
         """Overwrite one page (extending the image if needed)."""
-        end = index * self.page_bytes + len(content)
+        self.write_at(index * self.page_bytes, content)
+
+    def write_at(self, offset: int, content: bytes) -> None:
+        """Overwrite an arbitrary extent (extending the image if needed)."""
+        end = offset + len(content)
         if end > len(self.data):
+            # Grown space is zero-filled, which the incremental fold
+            # accounts for algebraically without journaling it.
             self.data.extend(bytes(end - len(self.data)))
-        self.data[index * self.page_bytes:end] = content
+        self._record(offset, len(content),
+                     lambda: self.data.__setitem__(slice(offset, end), content))
+
+    def apply_xor(self, offset: int, delta: bytes) -> None:
+        """XOR ``delta`` onto the image at ``offset`` (a mirror patch).
+
+        This is the receiving half of delta-shipping replication: the
+        sender transmits ``before XOR after`` for the changed extent and
+        the receiver folds it in place, journaling as usual.
+        """
+        if offset < 0:
+            raise ReproError("delta patch offset must be non-negative")
+        end = offset + len(delta)
+        if end > len(self.data):
+            # A patch landing past the current end grows the image with
+            # zeros first; XOR against zeros then writes the content.
+            self.data.extend(bytes(end - len(self.data)))
+
+        def mutate() -> None:
+            patched = (
+                int.from_bytes(self.data[offset:end], "little")
+                ^ int.from_bytes(delta, "little")
+            ).to_bytes(len(delta), "little")
+            self.data[offset:end] = patched
+
+        self._record(offset, len(delta), mutate)
+
+    def truncate(self, new_length: int) -> None:
+        """Shrink the image, journaling the zeroing of the dropped tail."""
+        if new_length < 0 or new_length > len(self.data):
+            raise ReproError(f"cannot truncate to {new_length} bytes")
+        if new_length == len(self.data):
+            return
+        tail = len(self.data) - new_length
+
+        def mutate() -> None:
+            self.data[new_length:] = bytes(tail)
+
+        # Zero the tail first (journaled), then drop it: the fold then
+        # removes the zero run's contribution algebraically.
+        self._record(new_length, tail, mutate)
+        del self.data[new_length:]
+
+    def invalidate(self) -> None:
+        """Drop warm signature state after an untracked data mutation."""
+        self._incremental = None
+        self._tree = None
+        self._tree_fanout = None
+
+    # ------------------------------------------------------------------
+    # Signature state
+    # ------------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Fold pending journaled writes into the warm map (and tree)."""
+        incremental = self._incremental
+        if incremental is None:
+            return
+        symbol_bytes = self.scheme.scheme_id.symbol_bytes
+        if len(self.data) % symbol_bytes:
+            # A partial trailing symbol cannot be journaled exactly.
+            self.invalidate()
+            return
+        journal = incremental.journal
+        if not journal and incremental.total_bytes == len(self.data):
+            return
+        report = incremental.apply_journal(journal,
+                                           total_bytes=len(self.data))
+        if self._tree is not None:
+            if report.resized:
+                self._tree = SignatureTree.from_map(
+                    incremental.map, self._tree_fanout
+                )
+            else:
+                self._tree.apply_leaf_deltas(report.leaf_deltas)
+        registry = get_registry()
+        registry.counter("sync.incremental_folds").inc()
+        registry.counter("sync.bytes_folded").inc(report.bytes_folded)
 
     def signature_map(self) -> SignatureMap:
         """The replica's current per-page signature map.
 
-        Signed through the shared batch engine: every reconciliation
-        seals all its pages in whole-bucket kernel passes.
+        The first call signs the whole image through the shared batch
+        engine and keeps the result warm; later calls fold the write
+        journal in O(|delta|) and return the same (updated) map.
         """
-        return get_batch_signer(self.scheme).sign_map(bytes(self.data),
-                                                      self.page_symbols)
+        if self._incremental is None:
+            cold = get_batch_signer(self.scheme).sign_map(
+                bytes(self.data), self.page_symbols
+            )
+            self._incremental = IncrementalSignatureMap(cold)
+            return cold
+        self._refresh()
+        if self._incremental is None:  # invalidated by _refresh
+            return self.signature_map()
+        return self._incremental.map
 
     def signature_tree(self, fanout: int = 16) -> SignatureTree:
-        """The replica's current signature tree."""
-        return SignatureTree.from_map(self.signature_map(), fanout)
+        """The replica's current signature tree (kept warm like the map)."""
+        signature_map = self.signature_map()
+        if self._tree is not None and self._tree_fanout == fanout:
+            return self._tree
+        tree = SignatureTree.from_map(signature_map, fanout)
+        if self._incremental is not None:
+            self._tree = tree
+            self._tree_fanout = fanout
+        return tree
 
 
 @dataclass(frozen=True, slots=True)
@@ -230,4 +370,4 @@ def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
 def _trim(target: Replica, source: Replica) -> None:
     """Match the target's length to the source's after page shipping."""
     if len(target.data) > len(source.data):
-        del target.data[len(source.data):]
+        target.truncate(len(source.data))
