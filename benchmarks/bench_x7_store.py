@@ -1,0 +1,152 @@
+"""X7 -- certified crash recovery: checkpoint+fold vs full log rescan.
+
+PR 5's tentpole: a :class:`repro.store.PageStore` recovers by loading
+the sealed checkpoint (warm signature map + tree) and folding only the
+post-checkpoint log tail (Proposition 3), instead of re-verifying and
+re-signing the whole history.  This benchmark sweeps the two knobs the
+recovery cost depends on:
+
+* **log length** (pre-checkpoint churn rounds) -- the rescan pays for
+  every frame ever written; checkpoint recovery pays only the tail, so
+  the gap should widen as the log grows, and
+* **dirty fraction** (post-checkpoint delta bytes) -- the tail-verify
+  path's cost tracks the tail, so its advantage shrinks as the dirty
+  fraction grows.
+
+Acceptance asserted here:
+
+* every recovery path materializes the same bytes and a signature map
+  byte-identical to ``SignatureMap.compute`` over them (exactness
+  before timing), and
+* at the longest log, checkpoint+tail-verify recovery beats the full
+  rescan (the committed harness run in ``BENCH_pr5.json`` shows the
+  full-scale ratios).
+"""
+
+import time
+
+import numpy as np
+
+from repro.sig import SignatureMap, make_scheme
+from repro.store import PageStore
+
+PAGE_BYTES = 32 * 1024
+PAGES = 48                       # 1.5 MiB image
+REGION_BYTES = 512
+VOLUME = "x7"
+SEED = 20040301
+CHURN_ROUNDS = (1, 2, 4)         # log length sweep at 1% dirty
+FRACTIONS = (0.01, 0.05, 0.25)   # dirty-fraction sweep at 1 churn round
+
+
+def _build(directory, churn_rounds: int, fraction: float) -> bytes:
+    """Build a churned, checkpointed store; returns the final image."""
+    rng = np.random.default_rng(SEED + churn_rounds * 7
+                                + int(fraction * 1e6))
+    store = PageStore(make_scheme(), directory)
+    image = bytearray(rng.integers(
+        0, 256, size=PAGES * PAGE_BYTES, dtype=np.uint8).tobytes())
+    store.write_image(VOLUME, bytes(image), PAGE_BYTES)
+    for _ in range(churn_rounds):
+        for index in rng.permutation(PAGES):
+            index = int(index)
+            page = rng.integers(0, 256, size=PAGE_BYTES,
+                                dtype=np.uint8).tobytes()
+            store.write_page(VOLUME, index, page)
+            image[index * PAGE_BYTES:(index + 1) * PAGE_BYTES] = page
+    store.checkpoint()
+    slots = len(image) // REGION_BYTES
+    count = max(1, int(len(image) * fraction) // REGION_BYTES)
+    for slot in sorted(int(o) for o in rng.choice(
+            slots, size=min(count, slots), replace=False)):
+        at = slot * REGION_BYTES
+        before = bytes(image[at:at + REGION_BYTES])
+        after = rng.integers(0, 256, size=REGION_BYTES,
+                             dtype=np.uint8).tobytes()
+        image[at:at + REGION_BYTES] = after
+        store.record_extent(VOLUME, at, before, after, len(image))
+    store.close()
+    return bytes(image)
+
+
+def _check(directory, image: bytes, **kwargs) -> None:
+    """One recovery must reproduce the bytes and a from-scratch map."""
+    scheme = make_scheme()
+    store, report = PageStore.recover(scheme, directory, **kwargs)
+    try:
+        assert store.image(VOLUME) == image
+        expected = SignatureMap.compute(
+            scheme, image, PAGE_BYTES // scheme.scheme_id.symbol_bytes)
+        produced = store.signature_map(VOLUME)
+        assert produced.signatures == expected.signatures
+        assert produced.total_symbols == expected.total_symbols
+        assert report.clean, report
+    finally:
+        store.close()
+
+
+def _time(directory, repeats: int = 3, **kwargs) -> float:
+    scheme = make_scheme()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        store, _report = PageStore.recover(scheme, directory, **kwargs)
+        store.close()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_x7_recover_tail(benchmark, tmp_path):
+    """Timing anchor: the production tail-verify recovery path."""
+    directory = tmp_path / "store"
+    image = _build(directory, churn_rounds=1, fraction=0.01)
+    for kwargs in ({"use_checkpoint": False}, {"verify": "full"},
+                   {"verify": "tail"}):
+        _check(directory, image, **kwargs)
+
+    scheme = make_scheme()
+
+    def recover_tail():
+        store, report = PageStore.recover(scheme, directory, verify="tail")
+        store.close()
+        return report
+
+    assert recover_tail().used_checkpoint
+    benchmark(recover_tail)
+
+
+def test_x7_report(benchmark, report_table, tmp_path):
+    rows = []
+    ratio_at_longest = 0.0
+    for label, churn, fraction in (
+            [(f"churn x{c}, 1% dirty", c, 0.01) for c in CHURN_ROUNDS]
+            + [(f"churn x1, {f:.0%} dirty", 1, f) for f in FRACTIONS[1:]]):
+        directory = tmp_path / f"store-{churn}-{int(fraction * 1e6)}"
+        image = _build(directory, churn, fraction)
+        for kwargs in ({"use_checkpoint": False}, {"verify": "full"},
+                       {"verify": "tail"}):
+            _check(directory, image, **kwargs)
+        rescan_s = _time(directory, use_checkpoint=False)
+        fold_s = _time(directory, verify="full")
+        tail_s = _time(directory, verify="tail")
+        log_bytes = PageStore.recover(make_scheme(), directory)[1].log_bytes
+        if churn == max(CHURN_ROUNDS) and fraction == 0.01:
+            ratio_at_longest = rescan_s / max(tail_s, 1e-9)
+        rows.append([label, f"{log_bytes / (1 << 20):.1f}",
+                     round(rescan_s * 1e3, 2), round(fold_s * 1e3, 2),
+                     round(tail_s * 1e3, 2),
+                     round(rescan_s / max(tail_s, 1e-9), 1)])
+
+    quick = tmp_path / "store-quick"
+    quick_image = _build(quick, 1, 0.01)
+    _check(quick, quick_image, verify="tail")
+    benchmark(lambda: _time(quick, repeats=1, verify="tail"))
+    report_table(
+        "X7: certified recovery, 1.5 MiB volume (GF(2^16) n=2)",
+        ["workload", "log MiB", "rescan ms", "fold ms", "tail ms",
+         "tail speedup"],
+        rows,
+        notes="rescan re-verifies and re-signs the whole log; "
+              "checkpoint+fold pays only for the post-checkpoint tail",
+    )
+    assert ratio_at_longest > 1.0, ratio_at_longest

@@ -23,6 +23,9 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.parity`    -- LH*RS Reed-Solomon + signature consistency (Sec. 6.2)
 * :mod:`repro.baselines` -- from-scratch SHA-1 / MD5 / CRC / Karp-Rabin
 * :mod:`repro.sim`       -- simulated clock / network / disk substrate
+* :mod:`repro.sync`      -- replica reconciliation with signature-only traffic
+* :mod:`repro.cluster`   -- fault-injecting cluster runtime, self-healing by signature
+* :mod:`repro.store`     -- durable sealed page store with certified crash recovery
 * :mod:`repro.workloads` -- page, update-pattern, and record generators
 * :mod:`repro.analysis`  -- collision experiments and report tables
 * :mod:`repro.obs`       -- metrics registry, span tracing, run reports

@@ -22,6 +22,21 @@ committed run):
   (Proposition 3 batched); the resulting map is verified byte-identical
   to the ``map_rescan`` rebuild before either is timed.
 
+The ``store`` block times certified crash recovery of a durable
+:class:`~repro.store.PageStore` whose log holds a churned image, a
+sealed checkpoint, and a sparse post-checkpoint delta tail:
+
+* ``full_rescan`` -- recovery ignoring the checkpoint: every seal
+  verified, every frame replayed cold, maps re-signed from the bytes.
+* ``checkpoint_fold`` -- load the sealed warm state, verify every seal,
+  fold only the post-checkpoint frames (Proposition 3).
+* ``checkpoint_fold_tail`` -- the production path: trust the sealed
+  checkpoint for the prefix it covers, verify only the tail's seals.
+
+All three recoveries are verified to materialize byte-identical images
+and signature maps equal to a from-scratch
+:meth:`~repro.sig.compound.SignatureMap.compute` before being timed.
+
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
 byte-identical against ``scheme.sign`` before its timing is reported --
@@ -35,16 +50,19 @@ Timings live under ``results`` and naturally vary run to run.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
 from .errors import ReproError
 from .sig import (BatchSigner, ChunkedSigner, IncrementalSignatureMap,
                   JournalEntry, SignatureMap, make_scheme)
+from .store import PageStore
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v2"
+SCHEMA = "repro.bench/batch-engine/v3"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
@@ -57,6 +75,15 @@ DIRTY_REGION_BYTES = 64
 
 #: (field width f, components n): equal 4-byte signature strength.
 FIELDS = ((16, 2), (8, 4))
+
+#: Durable-store recovery bench: volume geometry and churn shape.
+STORE_PAGE_BYTES = 32 * 1024
+STORE_VOLUME = "bench"
+#: Pre-checkpoint full-page rewrite rounds (log length ~= rounds x image).
+STORE_CHURN_ROUNDS = 1
+#: Post-checkpoint journaled write region size in bytes.
+STORE_DIRTY_REGION_BYTES = 512
+STORE_PATHS = ("full_rescan", "checkpoint_fold", "checkpoint_fold_tail")
 
 
 class BenchError(ReproError):
@@ -203,11 +230,117 @@ def _bench_field(f: int, n: int, pages: list[bytes], scalar_pages: int,
     }
 
 
+def _build_store(directory: Path, page_count: int, seed: int) -> bytes:
+    """Build a churned durable store; returns the final image bytes.
+
+    Shape mirrors a long-lived volume: initial image, two rounds of
+    full-page rewrites, a sealed checkpoint, then a sparse tail of
+    ``DIRTY_FRACTION`` journaled delta frames -- the regime where
+    checkpoint-plus-fold recovery should beat a full log rescan.
+    """
+    rng = np.random.default_rng(seed + 2)
+    store = PageStore(make_scheme(), directory)
+    image = bytearray(rng.integers(
+        0, 256, size=page_count * STORE_PAGE_BYTES, dtype=np.uint8
+    ).tobytes())
+    store.write_image(STORE_VOLUME, bytes(image), STORE_PAGE_BYTES)
+    for _ in range(STORE_CHURN_ROUNDS):
+        for index in rng.permutation(page_count):
+            index = int(index)
+            page = rng.integers(0, 256, size=STORE_PAGE_BYTES,
+                                dtype=np.uint8).tobytes()
+            store.write_page(STORE_VOLUME, index, page)
+            start = index * STORE_PAGE_BYTES
+            image[start:start + STORE_PAGE_BYTES] = page
+    store.checkpoint()
+    region = STORE_DIRTY_REGION_BYTES
+    slots = len(image) // region
+    count = max(1, int(len(image) * DIRTY_FRACTION) // region)
+    chosen = rng.choice(slots, size=min(count, slots), replace=False)
+    for slot in sorted(int(o) for o in chosen):
+        offset = slot * region
+        before = bytes(image[offset:offset + region])
+        after = rng.integers(0, 256, size=region, dtype=np.uint8).tobytes()
+        image[offset:offset + region] = after
+        store.record_extent(STORE_VOLUME, offset, before, after, len(image))
+    store.close()
+    return bytes(image)
+
+
+#: Recovery variants: kwargs for :meth:`PageStore.recover` per path.
+_STORE_VARIANTS = {
+    "full_rescan": {"use_checkpoint": False},
+    "checkpoint_fold": {"verify": "full"},
+    "checkpoint_fold_tail": {"verify": "tail"},
+}
+
+
+def _bench_store(page_count: int, repeats: int) -> dict:
+    """Time the three recovery paths; verify each against a rescan."""
+    scheme = make_scheme()
+    symbol_bytes = scheme.scheme_id.symbol_bytes
+    page_symbols = STORE_PAGE_BYTES // symbol_bytes
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "store"
+        image = _build_store(directory, page_count, SEED)
+        expected = SignatureMap.compute(scheme, image, page_symbols)
+        rows = []
+        for path, kwargs in _STORE_VARIANTS.items():
+            store, report = PageStore.recover(scheme, directory, **kwargs)
+            try:
+                recovered = store.image(STORE_VOLUME)
+                recovered_map = store.signature_map(STORE_VOLUME)
+            finally:
+                store.close()
+            if recovered != image:
+                raise BenchError(f"{path} recovery diverged from the "
+                                 f"durable image")
+            if (recovered_map.signatures != expected.signatures
+                    or recovered_map.total_symbols != expected.total_symbols):
+                raise BenchError(f"{path} recovered map diverged from a "
+                                 f"from-scratch compute")
+            if not report.clean:
+                raise BenchError(f"{path} recovery reported damage on a "
+                                 f"clean log")
+            if report.used_checkpoint != kwargs.get("use_checkpoint", True):
+                raise BenchError(f"{path} checkpoint use did not match "
+                                 f"the requested mode")
+
+            def timed(kwargs=kwargs) -> None:
+                opened, _ = PageStore.recover(scheme, directory, **kwargs)
+                opened.close()
+
+            seconds = max(_best_seconds(timed, repeats), 1e-9)
+            rows.append({
+                "path": path,
+                "seconds": round(seconds, 6),
+                "used_checkpoint": report.used_checkpoint,
+                "frames_valid": report.frames_valid,
+                "frames_folded": report.frames_folded,
+                "log_mib_per_s": round(
+                    report.log_bytes / (1 << 20) / seconds, 3),
+            })
+        log_bytes = report.log_bytes
+    times = {row["path"]: row["seconds"] for row in rows}
+    return {
+        "log_bytes": log_bytes,
+        "frames": rows[0]["frames_valid"],
+        "results": rows,
+        "speedups": {
+            "fold_vs_rescan": round(
+                times["full_rescan"] / times["checkpoint_fold"], 2),
+            "tail_vs_rescan": round(
+                times["full_rescan"] / times["checkpoint_fold_tail"], 2),
+        },
+    }
+
+
 def run(quick: bool = False, workers: int = WORKERS) -> dict:
     """Run the harness; returns the JSON-able benchmark document."""
     page_count = 8 if quick else 48
     scalar_pages = 1 if quick else 2
     repeats = 2 if quick else 3
+    store_pages = 16 if quick else 128
     pages = _make_pages(page_count, SEED)
     document = {
         "schema": SCHEMA,
@@ -224,11 +357,20 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
             "fields": [{"f": f, "n": n} for f, n in FIELDS],
             "paths": ["scalar", "vector", "chunked", "batch",
                       "batch_workers", "map_rescan", "incremental"],
+            "store": {
+                "page_bytes": STORE_PAGE_BYTES,
+                "pages": store_pages,
+                "churn_rounds": STORE_CHURN_ROUNDS,
+                "dirty_fraction": DIRTY_FRACTION,
+                "dirty_region_bytes": STORE_DIRTY_REGION_BYTES,
+                "paths": list(STORE_PATHS),
+            },
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)
             for f, n in FIELDS
         ],
+        "store": _bench_store(store_pages, repeats),
         "verified": True,   # every path checked against scheme.sign above
     }
     return document

@@ -31,10 +31,13 @@ from __future__ import annotations
 import struct
 from enum import Enum
 
+from pathlib import Path
+
 from ..obs import get_registry
 from ..sdds.record import Record
 from ..sdds.server import SDDSServer
 from ..sig.scheme import AlgebraicSignatureScheme
+from ..store.pagestore import PageStore
 from ..sync import Replica
 from . import wire
 
@@ -104,6 +107,20 @@ class ClusterNode:
         self.mirror: Replica | None = None
         #: request_id -> sealed reply bytes (at-least-once replay).
         self._reply_cache: dict[int, bytes] = {}
+        #: Durable backend (PR 5): when attached, every image extent is
+        #: also appended to a sealed local log that survives crashes.
+        self.store: PageStore | None = None
+        self.store_dir: Path | None = None
+
+    #: Store volume name holding the node's bucket image.
+    IMAGE_VOLUME = "image"
+
+    def attach_store(self, store: PageStore) -> None:
+        """Adopt a durable page store; seeds it with the current image."""
+        self.store = store
+        self.store_dir = store.directory
+        store.write_image(self.IMAGE_VOLUME, self.image_bytes(),
+                          self.page_bytes)
 
     @property
     def name(self) -> str:
@@ -253,6 +270,14 @@ class ClusterNode:
                 self.image.write_at(lo, current[lo:min(hi, len(current))])
         if len(current) < len(self.image.data):
             self.image.truncate(len(current))
+        if self.store is not None:
+            # Durable mode: the same extents land in the sealed local
+            # log as DELTA frames (before XOR after), so a crash replays
+            # to exactly this image.
+            for lo, hi in extents:
+                self.store.record_extent(self.IMAGE_VOLUME, lo,
+                                         previous[lo:hi], current[lo:hi],
+                                         len(current))
         if not send_mirror_updates or not extents:
             return
         host = self.cluster.mirror_host(self.index)
@@ -323,7 +348,12 @@ class ClusterNode:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Lose all volatile state; traffic is dropped until recovery."""
+        """Lose all volatile state; traffic is dropped until recovery.
+
+        A durable node loses its RAM structures and its open store
+        handle, but the sealed log directory survives on "disk" --
+        that is what the certified-recovery path replays.
+        """
         self.state = NodeState.CRASHED
         self.server = SDDSServer(self.index, self.scheme,
                                  capacity_records=self.capacity_records,
@@ -332,6 +362,9 @@ class ClusterNode:
                              serialize_bucket(self.server), self.page_bytes)
         self.mirror = None
         self._reply_cache.clear()
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     def rebuild_from(self, records: list[Record]) -> None:
         """Repopulate the bucket (recovery path); refreshes the image."""

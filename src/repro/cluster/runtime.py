@@ -27,19 +27,28 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..errors import ReproError
 from ..obs import get_registry
 from ..parity import LHRSStore
 from ..sdds.record import Record
+from ..sig.engine import get_batch_signer
 from ..sig.scheme import AlgebraicSignatureScheme, make_scheme
 from ..sim.clock import SimClock
 from ..sim.network import NetworkModel, SimNetwork
-from ..sync import sync_by_tree
+from ..store.pagestore import PageStore
+from ..sync import Replica, sync_by_tree
 from .events import EventLoop
 from .faults import Crash, FaultPlan
 from .network import FaultyNetwork
-from .node import REQUEST_KINDS, ClusterNode, NodeState, deserialize_bucket
+from .node import (
+    REQUEST_KINDS,
+    ClusterNode,
+    NodeState,
+    deserialize_bucket,
+    serialize_bucket,
+)
 from .retry import RetryExhaustedError, RetryPolicy
 from . import wire
 
@@ -88,7 +97,9 @@ class Cluster:
                  parity_buckets: int = 2,
                  record_bytes: int = 256,
                  page_bytes: int = 128,
-                 header_bytes: int = 16):
+                 header_bytes: int = 16,
+                 durable_dir: str | Path | None = None,
+                 durable_checkpoint_every: int | None = 64):
         if servers < 2:
             raise ClusterError("a cluster needs at least 2 server nodes")
         self.seed = seed
@@ -109,6 +120,15 @@ class Cluster:
             ClusterNode(index, self, self.scheme, page_bytes)
             for index in range(servers)
         ]
+        #: Durable mode (PR 5): every node appends its image extents to
+        #: a sealed per-node log; a ``Crash`` then recovers by certified
+        #: local replay instead of LH*RS reconstruction.
+        self.durable_dir = Path(durable_dir) if durable_dir is not None \
+            else None
+        self.durable_checkpoint_every = durable_checkpoint_every
+        if self.durable_dir is not None:
+            for node in self.nodes:
+                node.attach_store(self._fresh_store(node))
         for node in self.nodes:
             host = self.mirror_host(node.index)
             host.make_mirror(node.name, node.image_bytes())
@@ -170,19 +190,148 @@ class Cluster:
                 return node
         raise ClusterError(f"no node named {name!r}")
 
+    def _fresh_store(self, node: ClusterNode) -> PageStore:
+        """Create (wiping any leftovers) the node's durable page store."""
+        directory = self.durable_dir / node.name
+        directory.mkdir(parents=True, exist_ok=True)
+        for leftover in list(directory.glob("seg-*.log")) \
+                + list(directory.glob("*.ckpt")):
+            leftover.unlink()
+        return PageStore(self.scheme, directory,
+                         checkpoint_every=self.durable_checkpoint_every)
+
     def _crash(self, node: ClusterNode, crash: Crash) -> None:
         if not node.is_up:
             return  # already down; overlapping plans are a no-op
+        durable = node.store is not None
         node.crash()
-        self.parity.fail_bucket(node.index)
+        if not durable:
+            # A durable node's bucket survives in its sealed log, so
+            # the parity group's column is *not* lost; only a volatile
+            # node's crash degrades the LH*RS store.
+            self.parity.fail_bucket(node.index)
         get_registry().counter("cluster.crashes", node=node.name).inc()
         self.loop.at(crash.recover_at,
                      lambda: self._recover(node, crashed_at=crash.at))
 
     def _recover(self, node: ClusterNode, crashed_at: float) -> None:
-        """The signature-driven self-healing pipeline for one node."""
+        """Recovery dispatch: certified local replay, else LH*RS."""
         registry = get_registry()
         node.state = NodeState.RECOVERING
+        durable = node.store_dir is not None and self._recover_durable(node)
+        if not durable:
+            if node.store_dir is not None:
+                # The local log could not certify the bucket: fall back
+                # to full LH*RS reconstruction.
+                self.parity.fail_bucket(node.index)
+                registry.counter("cluster.durable_fallbacks",
+                                 node=node.name).inc()
+            self._recover_parity(node)
+            if node.store_dir is not None:
+                # Re-seed the durable log from the reconstructed state.
+                node.attach_store(self._fresh_store(node))
+        predecessor = self.nodes[(node.index - 1) % len(self.nodes)]
+        node.make_mirror(predecessor.name)
+        node.state = NodeState.UP
+        self._repair_pair(predecessor, phase="recovery")
+        self._repair_pair(node, phase="recovery")
+        registry.counter("cluster.recoveries", node=node.name).inc()
+        registry.histogram("cluster.recovery_seconds").observe(
+            self.clock.now - crashed_at
+        )
+
+    def _recover_durable(self, node: ClusterNode) -> bool:
+        """Certified local replay of the node's sealed log.
+
+        Returns True when the bucket was re-certified from local state:
+        checkpoint + fold, torn tail truncated, and every condemned
+        page patched from the hosted mirror with its replacement
+        *verified* against the certified expected signature.  Any
+        uncertainty (unverifiable patch, undecodable image) returns
+        False and the caller falls back to LH*RS reconstruction.
+        """
+        registry = get_registry()
+        try:
+            store, report = PageStore.recover(
+                self.scheme, node.store_dir,
+                checkpoint_every=self.durable_checkpoint_every,
+            )
+        except (ReproError, OSError):
+            return False
+        volume = node.IMAGE_VOLUME
+        if volume not in store.volumes():
+            store.close()
+            return False
+        condemned = report.condemned.get(volume, ())
+        if condemned:
+            if not self._patch_condemned(node, store, condemned,
+                                         report.expected.get(volume, {})):
+                store.close()
+                return False
+        image = store.image(volume)
+        try:
+            records = deserialize_bucket(image)
+        except Exception:
+            store.close()
+            return False
+        for record in records:
+            node.server.insert(record)
+        if serialize_bucket(node.server) != image:
+            store.close()
+            return False
+        node.image = Replica(f"{node.name}.image", self.scheme, image,
+                             node.page_bytes)
+        node.store = store
+        node.store_dir = store.directory
+        registry.counter("cluster.durable_recoveries", node=node.name).inc()
+        registry.counter("cluster.durable_frames_folded").inc(
+            report.frames_folded
+        )
+        return True
+
+    def _patch_condemned(self, node: ClusterNode, store: PageStore,
+                         condemned: tuple[int, ...],
+                         expected: dict) -> bool:
+        """Fetch condemned pages from the hosted mirror, verified.
+
+        Each replacement page must re-sign to the *certified* expected
+        signature from the recovery report -- a stale or damaged mirror
+        page fails the check and the whole durable path is abandoned.
+        """
+        registry = get_registry()
+        host = self.mirror_host(node.index)
+        mirror = host.mirror if host.is_up else None
+        if mirror is None:
+            return False
+        volume = node.IMAGE_VOLUME
+        page_bytes = store.page_bytes_of(volume)
+        signer = get_batch_signer(self.scheme)
+        for page in condemned:
+            certified = expected.get(page)
+            if certified is None:
+                return False
+            patch = bytes(mirror.data[page * page_bytes:
+                                      (page + 1) * page_bytes])
+            if not patch:
+                return False
+            actual = signer.sign_map(patch,
+                                     page_bytes // self.scheme.scheme_id
+                                     .symbol_bytes).signatures[0]
+            if actual != certified:
+                return False
+            self.network.send(host.name, node.name, RECOVERY_SHARD,
+                              len(patch))
+            store.write_page(volume, page, patch)
+            registry.counter("cluster.condemned_pages_patched",
+                             node=node.name).inc()
+            registry.counter("cluster.repair_bytes", phase="condemned").inc(
+                len(patch)
+            )
+        return True
+
+    def _recover_parity(self, node: ClusterNode) -> None:
+        """LH*RS reconstruction over the recovery channel."""
+        registry = get_registry()
         # 1. LH*RS reconstruction: read one shard per surviving group
         #    member per rank over the (reliable, accounted) recovery
         #    channel, then solve the code for the lost column.
@@ -203,17 +352,6 @@ class Cluster:
         parity_bytes = shard_bytes * (self.server_count - 1 + self.parity.k)
         registry.counter("cluster.repair_bytes", phase="parity").inc(
             parity_bytes
-        )
-        # 2. Anti-entropy: re-home the mirror this node hosts, then
-        #    re-converge both mirror relationships by tree probing.
-        predecessor = self.nodes[(node.index - 1) % len(self.nodes)]
-        node.make_mirror(predecessor.name)
-        node.state = NodeState.UP
-        self._repair_pair(predecessor, phase="recovery")
-        self._repair_pair(node, phase="recovery")
-        registry.counter("cluster.recoveries", node=node.name).inc()
-        registry.histogram("cluster.recovery_seconds").observe(
-            self.clock.now - crashed_at
         )
 
     def _repair_pair(self, source: ClusterNode, phase: str) -> int:

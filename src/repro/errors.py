@@ -56,6 +56,10 @@ class BackupError(ReproError):
     """Errors in the backup engine (map mismatch, bad restore)."""
 
 
+class StoreError(ReproError):
+    """Errors in the durable signature-sealed page store."""
+
+
 class ParityError(ReproError):
     """Errors in the Reed-Solomon parity subsystem."""
 

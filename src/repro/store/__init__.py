@@ -1,0 +1,56 @@
+"""Durable signature-sealed storage plane (PR 5).
+
+An append-only segmented log of signature-sealed frames, a
+:class:`PageStore` materializing page-addressed volumes from it, sealed
+warm-state checkpoints, and certified crash recovery: scan, verify
+every seal (Proposition 1), truncate the torn tail, fold only the
+post-checkpoint delta (Proposition 3), and localize mid-prefix damage
+to condemned pages via the persisted signature tree (Proposition 5).
+"""
+
+from .checkpoint import Checkpoint, VolumeCheckpoint
+from .checkpoint import load as load_checkpoint
+from .checkpoint import save as save_checkpoint
+from .disk import DurableDisk
+from .frames import (
+    KIND_DELTA,
+    KIND_PAGE,
+    KIND_TRUNCATE,
+    Frame,
+    FrameError,
+)
+from .log import (
+    SEGMENT_BYTES,
+    CorruptRegion,
+    ScannedFrame,
+    ScanResult,
+    SegmentedLog,
+)
+from .pagestore import (
+    DEFAULT_PAGE_BYTES,
+    PageStore,
+    RecoveryReport,
+    ScrubReport,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CorruptRegion",
+    "DEFAULT_PAGE_BYTES",
+    "DurableDisk",
+    "Frame",
+    "FrameError",
+    "KIND_DELTA",
+    "KIND_PAGE",
+    "KIND_TRUNCATE",
+    "PageStore",
+    "RecoveryReport",
+    "ScannedFrame",
+    "ScanResult",
+    "ScrubReport",
+    "SEGMENT_BYTES",
+    "SegmentedLog",
+    "VolumeCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,311 @@
+"""The segmented append-only log under a durable page store.
+
+Frames (:mod:`repro.store.frames`) are appended to numbered segment
+files (``seg-00000042.log``); a segment is rolled when it reaches the
+configured size, and a frame never spans two segments.  Positions are
+*absolute* byte offsets into the logical concatenation of all segments
+-- the natural coordinate for "cut the log at byte N" fault injection
+and for the longest-certified-prefix arithmetic of recovery.
+
+:meth:`SegmentedLog.scan` is the certification pass: it structurally
+parses frame after frame, batch-verifies every seal through the shared
+signing engine, and classifies every byte of the log as
+
+* part of a **valid** frame (sealed, strictly increasing ``seq``),
+* part of a **corrupt region** -- a frame whose seal fails (bit rot:
+  detected with certainty for <= n corrupted symbols, Proposition 1)
+  or bytes where no frame parses, with valid frames following, or
+* the **torn tail**: everything after the last valid frame.  A torn
+  write is indistinguishable from deliberate trailing garbage, so
+  recovery truncates it -- the durable state is exactly the longest
+  certified prefix.
+
+After in-region corruption the scanner *resyncs* by searching for the
+next offset where a structurally valid frame begins; stale bytes that
+happen to look like old frames are rejected by the ``seq``
+monotonicity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import StoreError
+from ..obs import get_registry
+from ..sig.scheme import AlgebraicSignatureScheme
+from . import frames as fr
+
+#: Default segment roll size.
+SEGMENT_BYTES = 1 << 20
+
+
+def _segment_name(index: int) -> str:
+    return f"seg-{index:08d}.log"
+
+
+@dataclass(frozen=True, slots=True)
+class ScannedFrame:
+    """One certified frame and its absolute byte range in the log."""
+
+    frame: fr.Frame
+    start: int
+    end: int
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptRegion:
+    """One rejected byte range (bad seal, stale seq, or garbage).
+
+    ``frame`` carries the structurally parsed header/payload when the
+    region still parsed as a frame -- recovery uses it to localize the
+    damage to specific pages (best effort; the payload bytes are by
+    definition untrustworthy).
+    """
+
+    start: int
+    end: int
+    reason: str                  #: "seal" | "stale_seq" | "garbage"
+    frame: fr.Frame | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ScanResult:
+    """Outcome of one certification scan over the whole log."""
+
+    frames: list[ScannedFrame]
+    corrupt: list[CorruptRegion]
+    torn_start: int | None       #: absolute start of the torn tail
+    total_bytes: int
+
+    @property
+    def certified_end(self) -> int:
+        """End of the longest certified prefix (= torn-tail start)."""
+        return self.torn_start if self.torn_start is not None \
+            else self.total_bytes
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes of trailing garbage the recovery will truncate."""
+        return 0 if self.torn_start is None \
+            else self.total_bytes - self.torn_start
+
+
+class SegmentedLog:
+    """Append-only segmented frame log with certification scanning."""
+
+    def __init__(self, directory: str | Path,
+                 scheme: AlgebraicSignatureScheme,
+                 segment_bytes: int = SEGMENT_BYTES):
+        if segment_bytes < 4096:
+            raise StoreError("segment size must be at least 4096 bytes")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.scheme = scheme
+        self.segment_bytes = segment_bytes
+        #: (segment index, size in bytes), ascending by index.
+        self._segments: list[tuple[int, int]] = sorted(
+            (int(path.stem.split("-")[1]), path.stat().st_size)
+            for path in self.directory.glob("seg-*.log")
+        )
+        self._handle = None
+        self._handle_index: int | None = None
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical log length (sum of all segment sizes)."""
+        return sum(size for _index, size in self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segment files."""
+        return len(self._segments)
+
+    def _path(self, index: int) -> Path:
+        return self.directory / _segment_name(index)
+
+    def _locate(self, offset: int) -> tuple[int, int, int]:
+        """Map an absolute offset to (list position, segment index, local)."""
+        base = 0
+        for position, (index, size) in enumerate(self._segments):
+            if offset < base + size:
+                return position, index, offset - base
+            base += size
+        raise StoreError(f"offset {offset} beyond log end {self.total_bytes}")
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _writable(self, incoming: int):
+        """The open handle of the segment the next frame lands in."""
+        if not self._segments:
+            self._segments.append((0, 0))
+        index, size = self._segments[-1]
+        if size and size + incoming > self.segment_bytes:
+            index, size = index + 1, 0
+            self._segments.append((index, 0))
+        if self._handle_index != index:
+            self.close()
+            self._handle = open(self._path(index), "ab")
+            self._handle_index = index
+        return self._handle
+
+    def append(self, frame: fr.Frame) -> int:
+        """Seal and append one frame; returns its absolute start offset."""
+        return self.append_encoded([fr.encode(self.scheme, frame)],
+                                   [frame.kind])[0]
+
+    def append_many(self, frame_list: list[fr.Frame]) -> list[int]:
+        """Seal (one batched signing pass) and append a burst of frames."""
+        return self.append_encoded(fr.encode_many(self.scheme, frame_list),
+                                   [frame.kind for frame in frame_list])
+
+    def append_encoded(self, encoded: list[bytes],
+                       kinds: list[int]) -> list[int]:
+        """Append pre-sealed frames; returns absolute start offsets."""
+        registry = get_registry()
+        offsets = []
+        for data, kind in zip(encoded, kinds):
+            handle = self._writable(len(data))
+            index, size = self._segments[-1]
+            offsets.append(self.total_bytes)  # frame starts at the log end
+            handle.write(data)
+            handle.flush()
+            self._segments[-1] = (index, size + len(data))
+            registry.counter("store.bytes_appended").inc(len(data))
+            registry.counter("store.frames_sealed",
+                             kind=fr.KIND_NAMES[kind]).inc()
+        return offsets
+
+    def close(self) -> None:
+        """Flush and close the active segment handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._handle_index = None
+
+    # ------------------------------------------------------------------
+    # Certification scan
+    # ------------------------------------------------------------------
+
+    def scan(self, trusted_bytes: int = 0) -> ScanResult:
+        """Parse and certify the whole log (see the module docstring).
+
+        Frames ending at or before ``trusted_bytes`` are structurally
+        parsed but their seals are *not* re-verified -- recovery passes
+        the checkpoint position here in ``verify="tail"`` mode, trusting
+        the state the sealed checkpoint already certifies.
+        """
+        from ..sig.engine import get_batch_signer
+
+        seal_bytes = self.scheme.scheme_id.signature_bytes
+        candidates: list[tuple[fr.Frame, int, int, bytes, bytes]] = []
+        regions: list[CorruptRegion] = []
+        base = 0
+        for index, size in self._segments:
+            buffer = self._path(index).read_bytes() if size else b""
+            offset = 0
+            while offset < len(buffer):
+                parsed = fr.parse_at(buffer, offset, seal_bytes)
+                if parsed is not None:
+                    frame, end, body_end = parsed
+                    candidates.append((
+                        frame, base + offset, base + end,
+                        buffer[offset:body_end], buffer[body_end:end],
+                    ))
+                    offset = end
+                    continue
+                # Resync: find the next offset where a frame parses.
+                bad_start = offset
+                resync = None
+                probe = buffer.find(fr.MAGIC, offset + 1)
+                while probe != -1:
+                    if fr.parse_at(buffer, probe, seal_bytes) is not None:
+                        resync = probe
+                        break
+                    probe = buffer.find(fr.MAGIC, probe + 1)
+                stop = resync if resync is not None else len(buffer)
+                regions.append(CorruptRegion(base + bad_start, base + stop,
+                                             "garbage"))
+                offset = stop
+            base += size
+        # Batch-verify every untrusted candidate's seal in one pass.
+        unverified = [c for c in candidates if c[2] > trusted_bytes]
+        bodies = [c[3] for c in unverified]
+        seals = get_batch_signer(self.scheme).sign_many(bodies, strict=False) \
+            if bodies else []
+        good_seal = {id(c): seal.to_bytes() == c[4]
+                     for c, seal in zip(unverified, seals)}
+        valid: list[ScannedFrame] = []
+        last_seq = -1
+        for candidate in candidates:
+            frame, start, end, _body, _seal = candidate
+            if not good_seal.get(id(candidate), True):
+                regions.append(CorruptRegion(start, end, "seal", frame))
+                continue
+            if frame.seq <= last_seq:
+                regions.append(CorruptRegion(start, end, "stale_seq", frame))
+                continue
+            last_seq = frame.seq
+            valid.append(ScannedFrame(frame, start, end))
+        # Everything after the last valid frame is the torn tail: a torn
+        # write and trailing garbage are indistinguishable, so the
+        # durable state ends at the last certified frame.
+        total = self.total_bytes
+        certified_end = valid[-1].end if valid else 0
+        torn_start = certified_end if certified_end < total else None
+        if torn_start is not None:
+            regions = [r for r in regions if r.start < torn_start]
+        regions.sort(key=lambda region: region.start)
+        return ScanResult(valid, regions, torn_start, total)
+
+    # ------------------------------------------------------------------
+    # Truncation and fault injection
+    # ------------------------------------------------------------------
+
+    def truncate_to(self, offset: int) -> int:
+        """Physically cut the log at absolute ``offset``; returns bytes cut."""
+        if offset > self.total_bytes:
+            raise StoreError(
+                f"cannot truncate to {offset}: log is {self.total_bytes} bytes"
+            )
+        if offset == self.total_bytes:
+            return 0
+        self.close()
+        dropped = self.total_bytes - offset
+        position, index, local = self._locate(offset)
+        for later_index, _size in self._segments[position + 1:]:
+            self._path(later_index).unlink()
+        del self._segments[position + 1:]
+        with open(self._path(index), "r+b") as handle:
+            handle.truncate(local)
+        self._segments[position] = (index, local)
+        if local == 0 and position > 0:
+            self._path(index).unlink()
+            del self._segments[position]
+        return dropped
+
+    def crash_cut(self, offset: int) -> int:
+        """Simulate a crash mid-write: cut the log at byte ``offset``."""
+        return self.truncate_to(offset)
+
+    def corrupt_bytes(self, offset: int, xor: bytes) -> None:
+        """XOR ``xor`` into the log at absolute ``offset`` (bit rot)."""
+        if not xor:
+            return
+        if offset + len(xor) > self.total_bytes:
+            raise StoreError("corruption extent beyond log end")
+        self.close()
+        _position, index, local = self._locate(offset)
+        path = self._path(index)
+        with open(path, "r+b") as handle:
+            handle.seek(local)
+            current = handle.read(len(xor))
+            patched = bytes(a ^ b for a, b in zip(current, xor))
+            handle.seek(local)
+            handle.write(patched)

@@ -1,0 +1,670 @@
+"""The durable page store: materialized volumes over the sealed log.
+
+A :class:`PageStore` owns a directory holding a
+:class:`~repro.store.log.SegmentedLog` plus an optional sealed
+checkpoint, and materializes named *volumes* -- contiguous byte images
+sliced into fixed-size pages -- from the frames.  Every mutation is
+logged first (full pages as ``PAGE`` frames, PR-4 journal regions as
+``DELTA`` frames carrying only ``before XOR after``), then applied to
+the in-RAM image, whose warm signature map and tree ride along via the
+Proposition-3 incremental plane exactly as a
+:class:`~repro.sync.Replica` does -- the store *is* one replica per
+volume, with the log as its durable past.
+
+Recovery (:meth:`PageStore.recover`) is the paper's signature calculus
+applied to crash consistency:
+
+1. load the sealed checkpoint (if valid) -- the certified warm
+   signature map + tree and the log position they describe;
+2. scan the log, batch-verifying every frame seal (Proposition 1
+   certifies each frame against <= n corrupted symbols); truncate the
+   torn tail after the last valid frame -- the durable state is
+   exactly the **longest certified prefix**;
+3. replay pre-checkpoint frames into the images *without* signature
+   work, seed the checkpointed map/tree, and **fold** only the
+   post-checkpoint tail through
+   :class:`~repro.sig.incremental.IncrementalSignatureMap`
+   (Proposition 3) -- never re-signing the world;
+4. when any frame was rejected mid-prefix, a **scrub** compares the
+   certified tree against a tree re-signed from the materialized bytes
+   and localizes the damage to single pages (Proposition 5); those
+   pages are *condemned* -- surfaced with their expected (certified)
+   signatures so a consumer holding redundancy (a mirror, a parity
+   group) can fetch and *verify* replacement content.
+
+After a scrub the warm map is reset to match the materialized bytes,
+so ``signature_map()`` always equals ``SignatureMap.compute`` over the
+recovered image; the certified expectations for condemned pages live
+in the report.  With a linear (plain) scheme the folded expectations
+are exact regardless of what the corrupted bytes contained, because a
+DELTA region's signature depends only on ``before XOR after``; twisted
+schemes get the same detection but best-effort expectations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import StoreError
+from ..obs import get_registry
+from ..sig.compound import SignatureMap
+from ..sig.engine import get_batch_signer
+from ..sig.incremental import IncrementalSignatureMap, WriteJournal
+from ..sig.scheme import AlgebraicSignatureScheme
+from ..sig.signature import Signature
+from ..sig.tree import SignatureTree
+from ..sync.replica import Replica
+from . import checkpoint as ckpt
+from . import frames as fr
+from .log import SEGMENT_BYTES, ScanResult, SegmentedLog
+
+DEFAULT_PAGE_BYTES = 4096
+
+
+@dataclass(slots=True)
+class _Volume:
+    """One materialized volume: its replica and fixed page size."""
+
+    replica: Replica
+    page_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class ScrubReport:
+    """Outcome of one Proposition-5 scrub of a volume."""
+
+    volume: str
+    condemned: tuple[int, ...]          #: page indices that failed
+    expected: dict[int, Signature]      #: certified signatures for them
+    nodes_compared: int                 #: tree comparisons spent
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """Everything one certified recovery established."""
+
+    seconds: float
+    used_checkpoint: bool
+    frames_valid: int                   #: certified frames in the log
+    frames_folded: int                  #: post-checkpoint frames folded
+    bytes_replayed: int                 #: payload bytes applied
+    torn_bytes: int                     #: trailing garbage truncated
+    corrupt_frames: int                 #: mid-prefix rejected frames
+    condemned: dict[str, tuple[int, ...]]
+    expected: dict[str, dict[int, Signature]]
+    volumes: tuple[str, ...]
+    log_bytes: int
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was torn, rejected or condemned."""
+        return not (self.torn_bytes or self.corrupt_frames
+                    or any(self.condemned.values()))
+
+
+class PageStore:
+    """A durable, signature-sealed, page-addressed store.
+
+    Construction creates a *new* store in ``directory`` (which must not
+    already contain log segments); an existing store is only ever
+    opened through :meth:`recover`, so an open store's in-RAM state is
+    by construction the certified replay of its log.
+    """
+
+    def __init__(self, scheme: AlgebraicSignatureScheme,
+                 directory: str | Path,
+                 segment_bytes: int = SEGMENT_BYTES,
+                 checkpoint_every: int | None = None,
+                 fanout: int = 16,
+                 _adopt_log: SegmentedLog | None = None):
+        self.scheme = scheme
+        self.directory = Path(directory)
+        self.fanout = fanout
+        self.checkpoint_every = checkpoint_every
+        self._volumes: dict[str, _Volume] = {}
+        self._warm_from_checkpoint: set[str] = set()
+        self._next_seq = 0
+        self._frames_since_checkpoint = 0
+        if _adopt_log is not None:
+            self._log = _adopt_log
+        else:
+            self._log = SegmentedLog(self.directory, scheme, segment_bytes)
+            if self._log.total_bytes:
+                raise StoreError(
+                    f"{self.directory} already holds a log; open it with "
+                    "PageStore.recover() so its state is certified"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def log_bytes(self) -> int:
+        """Current absolute log length."""
+        return self._log.total_bytes
+
+    def volumes(self) -> list[str]:
+        """Sorted names of materialized volumes."""
+        return sorted(self._volumes)
+
+    def page_bytes_of(self, volume: str) -> int:
+        """The fixed page size of a volume."""
+        return self._require(volume).page_bytes
+
+    def image(self, volume: str) -> bytes:
+        """The volume's current byte image."""
+        return bytes(self._require(volume).replica.data)
+
+    def image_len(self, volume: str) -> int:
+        """The volume's current length in bytes."""
+        return len(self._require(volume).replica.data)
+
+    def read_page(self, volume: str, index: int) -> bytes:
+        """One page's bytes (the final page may be short)."""
+        state = self._require(volume)
+        if not 0 <= index < state.replica.page_count:
+            raise StoreError(
+                f"page {index} of volume {volume!r} was never written"
+            )
+        return state.replica.page(index)
+
+    def has_page(self, volume: str, index: int) -> bool:
+        """True when the volume covers page ``index``."""
+        state = self._volumes.get(volume)
+        return (state is not None and len(state.replica.data) > 0
+                and 0 <= index < state.replica.page_count)
+
+    def volume_pages(self, volume: str) -> list[int]:
+        """Page indices present for a volume (contiguous from 0)."""
+        state = self._volumes.get(volume)
+        if state is None or not len(state.replica.data):
+            return []
+        return list(range(state.replica.page_count))
+
+    def signature_map(self, volume: str) -> SignatureMap:
+        """The volume's warm signature map (journal folded on demand)."""
+        return self._require(volume).replica.signature_map()
+
+    def signature_tree(self, volume: str,
+                       fanout: int | None = None) -> SignatureTree:
+        """The volume's warm signature tree."""
+        return self._require(volume).replica.signature_tree(
+            fanout if fanout is not None else self.fanout
+        )
+
+    def _require(self, volume: str) -> _Volume:
+        state = self._volumes.get(volume)
+        if state is None:
+            raise StoreError(f"no volume named {volume!r}")
+        return state
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def _validated_page_bytes(self, page_bytes: int) -> int:
+        symbol_bytes = self.scheme.scheme_id.symbol_bytes
+        if page_bytes <= 0 or page_bytes % symbol_bytes:
+            raise StoreError(
+                f"page size {page_bytes} must be a positive multiple of "
+                f"the {symbol_bytes}-byte symbol"
+            )
+        if page_bytes // symbol_bytes > self.scheme.max_page_symbols:
+            raise StoreError(
+                f"page size {page_bytes} exceeds the certainty bound of "
+                f"GF(2^{self.scheme.field.f})"
+            )
+        return page_bytes
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _append(self, frame_list: list[fr.Frame]) -> list[int]:
+        """Log a burst of frames, apply them, maybe checkpoint."""
+        offsets = (self._log.append(frame_list[0]) if len(frame_list) == 1
+                   else self._log.append_many(frame_list))
+        if isinstance(offsets, int):
+            offsets = [offsets]
+        for frame in frame_list:
+            self._apply(frame)
+        self._frames_since_checkpoint += len(frame_list)
+        if (self.checkpoint_every is not None
+                and self._frames_since_checkpoint >= self.checkpoint_every):
+            self.checkpoint()
+        return offsets
+
+    def ensure_volume(self, volume: str,
+                      page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
+        """Declare a volume (logging its page size) if it is new."""
+        state = self._volumes.get(volume)
+        if state is not None:
+            if state.page_bytes != page_bytes:
+                raise StoreError(
+                    f"volume {volume!r} uses {state.page_bytes}-byte pages, "
+                    f"not {page_bytes}"
+                )
+            return
+        self._validated_page_bytes(page_bytes)
+        frame = fr.Frame(fr.KIND_TRUNCATE, self._take_seq(), volume,
+                         fr.encode_truncate(0, page_bytes))
+        self._append([frame])
+
+    def write_page(self, volume: str, index: int, data: bytes,
+                   page_size: int | None = None) -> int:
+        """Durably write one page; returns the frame's log offset.
+
+        Mirrors the sim disk's semantics: ``data`` may be short only as
+        the volume's final page, in which case it sets the volume
+        length.
+        """
+        if index < 0:
+            raise StoreError("page index must be non-negative")
+        state = self._volumes.get(volume)
+        if page_size is None:
+            page_size = state.page_bytes if state is not None \
+                else DEFAULT_PAGE_BYTES
+        if len(data) > page_size:
+            raise StoreError(
+                f"page data of {len(data)} bytes exceeds page size "
+                f"{page_size}"
+            )
+        self.ensure_volume(volume, page_size)
+        frame = fr.Frame(fr.KIND_PAGE, self._take_seq(), volume,
+                         fr.encode_page(index, page_size, bytes(data)))
+        return self._append([frame])[0]
+
+    def write_image(self, volume: str, data: bytes,
+                    page_bytes: int | None = None) -> int:
+        """Durably (re)write a whole volume image; returns frames logged.
+
+        All page frames are sealed in one batched signing pass.
+        """
+        state = self._volumes.get(volume)
+        if page_bytes is None:
+            page_bytes = state.page_bytes if state is not None \
+                else DEFAULT_PAGE_BYTES
+        self.ensure_volume(volume, page_bytes)
+        frame_list = [
+            fr.Frame(fr.KIND_PAGE, self._take_seq(), volume,
+                     fr.encode_page(index, page_bytes,
+                                    bytes(data[start:start + page_bytes])))
+            for index, start in enumerate(range(0, len(data), page_bytes))
+        ]
+        if len(data) < self.image_len(volume):
+            frame_list.append(
+                fr.Frame(fr.KIND_TRUNCATE, self._take_seq(), volume,
+                         fr.encode_truncate(len(data), page_bytes))
+            )
+        if frame_list:
+            self._append(frame_list)
+        return len(frame_list)
+
+    def record_extent(self, volume: str, offset: int, before: bytes,
+                      after: bytes, image_len: int) -> int | None:
+        """Durably log one journaled write as a ``DELTA`` frame.
+
+        ``before``/``after`` are the region's content around the write
+        (as a :class:`~repro.sdds.heap.RecordHeap` capture listener or
+        the cluster's extent differ produces); only their XOR travels
+        to disk.  ``image_len`` is the volume's length after the write.
+        Returns the frame's log offset (``None`` for an empty region).
+        """
+        width = max(len(before), len(after))
+        if width == 0:
+            return None
+        self._require(volume)
+        delta = (
+            int.from_bytes(before, "little") ^ int.from_bytes(after, "little")
+        ).to_bytes(width, "little")
+        frame = fr.Frame(fr.KIND_DELTA, self._take_seq(), volume,
+                         fr.encode_delta(image_len, offset, delta))
+        return self._append([frame])[0]
+
+    def append_journal(self, volume: str, journal: WriteJournal,
+                       image_len: int) -> int:
+        """Durably log a whole write journal (one batched sealing pass)."""
+        self._require(volume)
+        frame_list = [
+            fr.Frame(fr.KIND_DELTA, self._take_seq(), volume,
+                     fr.encode_delta(image_len, entry.offset,
+                                     (int.from_bytes(entry.before, "little")
+                                      ^ int.from_bytes(entry.after, "little"))
+                                     .to_bytes(max(len(entry.before),
+                                                   len(entry.after)),
+                                               "little")))
+            for entry in journal.entries
+            if max(len(entry.before), len(entry.after))
+        ]
+        if frame_list:
+            self._append(frame_list)
+        return len(frame_list)
+
+    def truncate(self, volume: str, image_len: int) -> int:
+        """Durably set a volume's length; returns the frame's offset."""
+        state = self._require(volume)
+        frame = fr.Frame(fr.KIND_TRUNCATE, self._take_seq(), volume,
+                         fr.encode_truncate(image_len, state.page_bytes))
+        return self._append([frame])[0]
+
+    def close(self) -> None:
+        """Flush and release the log's file handle."""
+        self._log.close()
+
+    # ------------------------------------------------------------------
+    # Frame application (single source of truth for replay semantics)
+    # ------------------------------------------------------------------
+
+    def _materialize(self, volume: str, page_bytes: int) -> _Volume:
+        """Get-or-create a volume's in-RAM state (no logging)."""
+        state = self._volumes.get(volume)
+        if state is None:
+            state = _Volume(
+                Replica(f"store:{volume}", self.scheme, b"",
+                        self._validated_page_bytes(page_bytes)),
+                page_bytes,
+            )
+            self._volumes[volume] = state
+        return state
+
+    @staticmethod
+    def _set_length(replica: Replica, image_len: int) -> None:
+        if image_len < len(replica.data):
+            replica.truncate(image_len)
+        elif image_len > len(replica.data):
+            # Pure zero growth: extended space is accounted
+            # algebraically by the next fold, no journaling needed.
+            replica.data.extend(bytes(image_len - len(replica.data)))
+
+    def _apply(self, frame: fr.Frame) -> None:
+        """Apply one (already logged / certified) frame to RAM state."""
+        if frame.kind == fr.KIND_PAGE:
+            index, page_size, data = fr.decode_page(frame.payload)
+            state = self._materialize(frame.volume, page_size)
+            offset = index * state.page_bytes
+            replica = state.replica
+            replica.write_at(offset, data)
+            end = offset + len(data)
+            if (offset + state.page_bytes >= len(replica.data)
+                    and len(replica.data) > end):
+                # A short write to the final page sets the length
+                # (sim-disk semantics).
+                replica.truncate(end)
+        elif frame.kind == fr.KIND_DELTA:
+            image_len, offset, delta = fr.decode_delta(frame.payload)
+            state = self._materialize(frame.volume, DEFAULT_PAGE_BYTES)
+            state.replica.apply_xor(offset, delta)
+            self._set_length(state.replica, image_len)
+        elif frame.kind == fr.KIND_TRUNCATE:
+            image_len, page_size = fr.decode_truncate(frame.payload)
+            state = self._materialize(frame.volume, page_size)
+            self._set_length(state.replica, image_len)
+        else:
+            raise fr.FrameError(f"unknown frame kind {frame.kind}")
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Persist every volume's warm map + tree; returns the path."""
+        volumes = {}
+        for name, state in self._volumes.items():
+            volumes[name] = ckpt.VolumeCheckpoint(
+                state.page_bytes, len(state.replica.data),
+                state.replica.signature_map(),
+                state.replica.signature_tree(self.fanout),
+            )
+            self._warm_from_checkpoint.add(name)
+        snapshot = ckpt.Checkpoint(self._log.total_bytes, self._next_seq,
+                                   volumes)
+        self._frames_since_checkpoint = 0
+        return ckpt.save(self.directory, self.scheme, snapshot)
+
+    # ------------------------------------------------------------------
+    # Scrub (Proposition 5 localization)
+    # ------------------------------------------------------------------
+
+    def scrub(self, volume: str) -> ScrubReport:
+        """Compare certified signature state against materialized bytes.
+
+        Re-signs the volume through the batch engine, diffs the warm
+        (certified) tree against the re-signed one, and condemns the
+        differing pages.  Afterwards the warm map/tree are reset to the
+        materialized content, so the certified *expected* signatures of
+        condemned pages survive only in the returned report.
+        """
+        state = self._require(volume)
+        replica = state.replica
+        expected_map = replica.signature_map()
+        fanout = replica._tree.fanout if replica._tree is not None \
+            else self.fanout
+        expected_tree = replica.signature_tree(fanout)
+        actual_map = get_batch_signer(self.scheme).sign_map(
+            bytes(replica.data), replica.page_symbols
+        )
+        actual_tree = SignatureTree.from_map(actual_map, fanout)
+        if expected_tree.leaf_count == actual_tree.leaf_count:
+            diff = expected_tree.diff(actual_tree)
+            condemned = tuple(diff.changed_leaves)
+            compared = diff.nodes_compared
+        else:  # length drifted: fall back to the flat map comparison
+            condemned = tuple(expected_map.changed_pages(actual_map))
+            compared = max(len(expected_map), len(actual_map))
+        expected = {
+            index: expected_map.signatures[index]
+            for index in condemned if index < len(expected_map.signatures)
+        }
+        if condemned:
+            # Reset warm state to the materialized bytes: from here on
+            # folds track what *is*, the report records what *should be*.
+            replica._incremental = IncrementalSignatureMap(actual_map)
+            replica._tree = actual_tree
+            replica._tree_fanout = fanout
+        registry = get_registry()
+        registry.counter("store.scrubs", volume=volume).inc()
+        registry.counter("store.pages_condemned").inc(len(condemned))
+        return ScrubReport(volume, condemned, expected, compared)
+
+    # ------------------------------------------------------------------
+    # Fault injection (tests, demos)
+    # ------------------------------------------------------------------
+
+    def crash_cut(self, offset: int) -> int:
+        """Cut the log at byte ``offset`` (simulated torn write)."""
+        return self._log.crash_cut(offset)
+
+    def corrupt_log(self, offset: int, xor: bytes) -> None:
+        """XOR bytes into the log (simulated bit rot)."""
+        self._log.corrupt_bytes(offset, xor)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, scheme: AlgebraicSignatureScheme,
+                directory: str | Path,
+                segment_bytes: int = SEGMENT_BYTES,
+                checkpoint_every: int | None = None,
+                fanout: int = 16,
+                use_checkpoint: bool = True,
+                verify: str = "full") -> tuple["PageStore", RecoveryReport]:
+        """Open an existing store by certified recovery.
+
+        ``verify="full"`` checks every frame seal; ``verify="tail"``
+        trusts the sealed checkpoint for the prefix it covers and
+        verifies only the tail's seals -- the fast production path,
+        with :meth:`scrub` available for deep audits.
+        """
+        if verify not in ("full", "tail"):
+            raise StoreError(f"unknown verify mode {verify!r}")
+        started = time.perf_counter()
+        registry = get_registry()
+        directory = Path(directory)
+        snapshot = ckpt.load(directory, scheme) if use_checkpoint else None
+        log = SegmentedLog(directory, scheme, segment_bytes)
+        trusted = snapshot.position if (snapshot is not None
+                                        and verify == "tail") else 0
+        scan = log.scan(trusted_bytes=trusted)
+        if snapshot is not None and snapshot.position > scan.certified_end:
+            # The checkpoint describes state the torn tail took with it.
+            snapshot = None
+            if trusted:
+                scan = log.scan(trusted_bytes=0)
+        store = cls(scheme, directory, segment_bytes=segment_bytes,
+                    checkpoint_every=None, fanout=fanout, _adopt_log=log)
+        report = store._recover_into(scan, snapshot, registry)
+        store.checkpoint_every = checkpoint_every
+        seconds = time.perf_counter() - started
+        registry.counter("store.recoveries").inc()
+        registry.histogram("store.recovery_seconds").observe(seconds)
+        report = RecoveryReport(
+            seconds=seconds, used_checkpoint=report.used_checkpoint,
+            frames_valid=report.frames_valid,
+            frames_folded=report.frames_folded,
+            bytes_replayed=report.bytes_replayed,
+            torn_bytes=report.torn_bytes,
+            corrupt_frames=report.corrupt_frames,
+            condemned=report.condemned, expected=report.expected,
+            volumes=report.volumes, log_bytes=log.total_bytes,
+        )
+        return store, report
+
+    def _recover_into(self, scan: ScanResult,
+                      snapshot: ckpt.Checkpoint | None,
+                      registry) -> RecoveryReport:
+        """Replay a certified scan into this (empty) store's volumes."""
+        position = snapshot.position if snapshot is not None else 0
+        if scan.torn_bytes:
+            registry.counter("store.torn_writes_detected").inc()
+            registry.counter("store.torn_bytes").inc(scan.torn_bytes)
+            self._log.truncate_to(scan.torn_start)
+        registry.counter("store.corrupt_frames_detected").inc(
+            len(scan.corrupt)
+        )
+        # 1. Replay the checkpointed prefix cold: plain byte application
+        #    through unwarmed replicas -- no signature work at all.
+        pre = [sf for sf in scan.frames if sf.end <= position]
+        post = [sf for sf in scan.frames if sf.end > position]
+        bytes_replayed = 0
+        for scanned in pre:
+            self._apply(scanned.frame)
+            bytes_replayed += len(scanned.frame.payload)
+        # 2. Seed the certified warm state over the replayed images.
+        if snapshot is not None:
+            for name, volume_ckpt in snapshot.volumes.items():
+                state = self._materialize(name, volume_ckpt.page_bytes)
+                state.replica = Replica.from_warm(
+                    f"store:{name}", self.scheme,
+                    bytes(state.replica.data), volume_ckpt.page_bytes,
+                    volume_ckpt.map, volume_ckpt.tree,
+                )
+                self._warm_from_checkpoint.add(name)
+        # 3. Fold the tail: journaled application, one batched
+        #    Proposition-3 pass per volume when the maps are read.
+        for scanned in post:
+            self._apply(scanned.frame)
+            bytes_replayed += len(scanned.frame.payload)
+        registry.counter("store.frames_replayed").inc(len(scan.frames))
+        for name in self._volumes:
+            self.signature_map(name)
+        self._next_seq = max(
+            [snapshot.next_seq if snapshot is not None else 0]
+            + [sf.frame.seq + 1 for sf in scan.frames]
+        )
+        # 4. Condemnation: headers of rejected frames point at pages
+        #    (best effort), the Proposition-5 scrub certifies pre-tail
+        #    damage, later full-page writes exonerate.
+        condemned, expected = self._condemn(scan)
+        return RecoveryReport(
+            seconds=0.0, used_checkpoint=snapshot is not None,
+            frames_valid=len(scan.frames), frames_folded=len(post),
+            bytes_replayed=bytes_replayed, torn_bytes=scan.torn_bytes,
+            corrupt_frames=len(scan.corrupt),
+            condemned=condemned, expected=expected,
+            volumes=tuple(self.volumes()), log_bytes=self._log.total_bytes,
+        )
+
+    def _condemn(self, scan: ScanResult) -> tuple[
+            dict[str, tuple[int, ...]], dict[str, dict[int, Signature]]]:
+        if not scan.corrupt:
+            return {}, {}
+        registry = get_registry()
+        # Last certified full-page write per (volume, page): a corrupt
+        # frame's damage to a page is superseded by a later PAGE frame.
+        last_page_write: dict[tuple[str, int], int] = {}
+        for scanned in scan.frames:
+            if scanned.frame.kind == fr.KIND_PAGE:
+                try:
+                    index, _size, _data = fr.decode_page(
+                        scanned.frame.payload
+                    )
+                except fr.FrameError:
+                    continue
+                last_page_write[(scanned.frame.volume, index)] = scanned.start
+        targeted: dict[str, set[int]] = {}
+        blind = False   # a region without a parseable header
+        for region in scan.corrupt:
+            frame = region.frame
+            if frame is None or frame.volume not in self._volumes:
+                blind = True
+                continue
+            page_bytes = self._volumes[frame.volume].page_bytes
+            pages: set[int] = set()
+            try:
+                if frame.kind == fr.KIND_PAGE:
+                    index, _size, _data = fr.decode_page(frame.payload)
+                    pages = {index}
+                elif frame.kind == fr.KIND_DELTA:
+                    _image_len, offset, delta = fr.decode_delta(frame.payload)
+                    if delta:
+                        pages = set(range(offset // page_bytes,
+                                          (offset + len(delta) - 1)
+                                          // page_bytes + 1))
+                else:
+                    blind = True   # a lost TRUNCATE: length uncertain
+            except fr.FrameError:
+                blind = True
+            survivors = {
+                page for page in pages
+                if last_page_write.get((frame.volume, page), -1) < region.start
+            }
+            if survivors:
+                targeted.setdefault(frame.volume, set()).update(survivors)
+        # Scrub certifies the checkpoint-backed volumes the damage may
+        # have touched (all of them when a region was unreadable).
+        scrub_volumes = set(self._warm_from_checkpoint) if blind else {
+            volume for volume in targeted if volume in
+            self._warm_from_checkpoint
+        }
+        condemned: dict[str, set[int]] = {v: set(p) for v, p in
+                                          targeted.items()}
+        expected: dict[str, dict[int, Signature]] = {}
+        for volume in sorted(scrub_volumes):
+            scrubbed = self.scrub(volume)
+            if scrubbed.condemned:
+                condemned.setdefault(volume, set()).update(scrubbed.condemned)
+                expected.setdefault(volume, {}).update(scrubbed.expected)
+        # Drop pages beyond each volume's final extent and count the
+        # targeted-only remainder (scrub counted its own findings).
+        result: dict[str, tuple[int, ...]] = {}
+        for volume, pages in condemned.items():
+            page_count = self._require(volume).replica.page_count \
+                if self.image_len(volume) else 0
+            kept = tuple(sorted(p for p in pages if p < page_count))
+            if kept:
+                result[volume] = kept
+                extra = [p for p in kept
+                         if p not in expected.get(volume, {})]
+                registry.counter("store.pages_condemned").inc(len(extra))
+        expected = {volume: {page: sig for page, sig in pages.items()
+                             if page in set(result.get(volume, ()))}
+                    for volume, pages in expected.items()}
+        expected = {volume: pages for volume, pages in expected.items()
+                    if pages}
+        return result, expected

@@ -69,6 +69,29 @@ class Replica:
         self._tree: SignatureTree | None = None
         self._tree_fanout: int | None = None
 
+    @classmethod
+    def from_warm(cls, name: str, scheme: AlgebraicSignatureScheme,
+                  data: bytes, page_bytes: int,
+                  signature_map: SignatureMap,
+                  tree: SignatureTree | None = None,
+                  fanout: int | None = None) -> "Replica":
+        """Build a replica with *pre-warmed* signature state.
+
+        Durable-store recovery loads a checkpointed map (and tree) that
+        already describes ``data``; seeding them here means the first
+        :meth:`signature_map` call folds only subsequently journaled
+        writes -- Proposition 3 -- instead of re-signing the image.
+        The caller asserts map (and tree) match ``data``; a mismatch
+        surfaces as a scrub discrepancy, not an exception.
+        """
+        replica = cls(name, scheme, data, page_bytes)
+        replica._incremental = IncrementalSignatureMap(signature_map)
+        if tree is not None:
+            replica._tree = tree
+            replica._tree_fanout = fanout if fanout is not None \
+                else tree.fanout
+        return replica
+
     @property
     def page_count(self) -> int:
         """Number of pages covering the current data."""
