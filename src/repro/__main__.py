@@ -25,6 +25,15 @@ Commands:
                      mid-log bit rot and a torn tail write, then run
                      certified recovery and verify the condemned-page
                      report against the injected faults
+* ``trace [--json] [--seed N]`` -- run a traced fault-injected cluster
+                     scenario and print the cross-node telemetry: the
+                     assembled per-operation trace trees, Chrome
+                     trace-event output, flight-recorder post-mortem
+                     dumps, and the metrics snapshot; identical seeds
+                     yield byte-identical JSON
+
+``report`` additionally accepts ``--prom`` to print the run's metrics
+in Prometheus text exposition format instead of the table.
 """
 
 from __future__ import annotations
@@ -154,20 +163,21 @@ def _report(arguments: list[str]) -> int:
     import io
     import runpy
 
-    from repro.obs import MetricsRegistry, RunReport, use_registry
+    from repro.obs import MetricsRegistry, RunReport, to_prometheus, use_registry
 
     as_json = "--json" in arguments
-    paths = [a for a in arguments if a != "--json"]
-    if len(paths) > 1:
-        print("usage: python -m repro report [script.py] [--json]",
+    as_prom = "--prom" in arguments
+    paths = [a for a in arguments if a not in ("--json", "--prom")]
+    if len(paths) > 1 or (as_json and as_prom):
+        print("usage: python -m repro report [script.py] [--json | --prom]",
               file=sys.stderr)
         return 2
     registry = MetricsRegistry()
     tracer = None
     meta: dict[str, str] = {}
-    # In JSON mode the workload's own stdout would corrupt the document;
-    # swallow it and emit only the report.
-    sink = io.StringIO() if as_json else sys.stdout
+    # In machine-readable modes the workload's own stdout would corrupt
+    # the document; swallow it and emit only the report.
+    sink = io.StringIO() if (as_json or as_prom) else sys.stdout
     with use_registry(registry):
         if paths:
             script = pathlib.Path(paths[0])
@@ -182,7 +192,9 @@ def _report(arguments: list[str]) -> int:
             with contextlib.redirect_stdout(sink):
                 tracer = _demo_workload()
     report = RunReport(registry, tracer=tracer, meta=meta)
-    if as_json:
+    if as_prom:
+        print(to_prometheus(registry), end="")
+    elif as_json:
         print(report.to_json())
     else:
         print()
@@ -367,6 +379,93 @@ def _store(arguments: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _trace(arguments: list[str]) -> int:
+    """Run a traced faulty-cluster scenario; print the telemetry export.
+
+    The scenario is the cluster demo's adversary in miniature: a lossy,
+    corrupting network plus one crash/recovery.  Every RPC is traced
+    end to end (client root span, per-node handling spans, mirror
+    shipping), every injected corruption lands as a sealed
+    flight-recorder dump, and the whole document is deterministic --
+    two runs with the same seed print byte-identical JSON.
+    """
+    import json
+
+    from repro.cluster import Cluster, Crash, FaultPlan, RetryPolicy
+    from repro.obs import MetricsRegistry, use_registry
+
+    as_json = "--json" in arguments
+    rest = [a for a in arguments if a != "--json"]
+    seed = 42
+    if rest and rest[0] == "--seed":
+        if len(rest) < 2:
+            print("usage: python -m repro trace [--json] [--seed N]",
+                  file=sys.stderr)
+            return 2
+        seed = int(rest[1])
+        rest = rest[2:]
+    if rest:
+        print("usage: python -m repro trace [--json] [--seed N]",
+              file=sys.stderr)
+        return 2
+    lossy = FaultPlan.lossy(drop=0.08, corrupt=0.01)
+    plan = FaultPlan(default=lossy.default,
+                     crashes=(Crash("node1", at=0.05, recover_at=0.12),))
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cluster = Cluster(servers=3, seed=seed, plan=plan,
+                          retry=RetryPolicy.patient())
+        client = cluster.client()
+        for key in range(24):
+            client.insert(key, f"record {key}".encode() * 4)
+        for key in range(0, 24, 3):
+            client.update(key, f"updated {key}".encode() * 3)
+        for key in range(0, 24, 4):
+            client.search(key)
+        cluster.settle()
+        snapshot = registry.snapshot()
+    traces = cluster.traces
+    export = traces.to_dict()
+    document = {
+        "schema": "repro.obs/trace-run/v1",
+        "seed": seed,
+        "export": export,
+        "chrome": traces.to_chrome(),
+        "dumps": [dump.document() for dump in cluster.dumps],
+        "metrics": snapshot,
+    }
+    if as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    spans = sum(trace["span_count"] for trace in export["traces"])
+    print(f"traced cluster scenario, seed {seed}: "
+          f"{len(export['traces'])} traces, {spans} spans, "
+          f"{len(cluster.dumps)} flight-recorder dumps")
+    for dump in cluster.dumps:
+        frames = dump.frames()
+        detail = f", frames {', '.join(frames)}" if frames else ""
+        print(f"  dump: {dump.reason} on {dump.node} at {dump.at:.3f}"
+              f"{detail}")
+    print()
+
+    def render(span, depth):
+        indent = "  " * depth
+        duration = (span["end"] - span["start"]) * 1000.0
+        print(f"{indent}{span['name']} [{span['node']}] "
+              f"{duration:.3f}ms {span['status']}")
+        for child in span["children"]:
+            render(child, depth + 1)
+
+    for trace in export["traces"][:4]:
+        print(f"trace {trace['trace_id']:016x}:")
+        for root in trace["spans"]:
+            render(root, 1)
+    remaining = len(export["traces"]) - 4
+    if remaining > 0:
+        print(f"... and {remaining} more traces")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a CLI command; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -380,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": lambda: _report(argv[1:]),
         "cluster": lambda: _cluster(argv[1:]),
         "store": lambda: _store(argv[1:]),
+        "trace": lambda: _trace(argv[1:]),
     }
     if command not in handlers:
         print(__doc__, file=sys.stderr)

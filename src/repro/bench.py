@@ -37,6 +37,11 @@ All three recoveries are verified to materialize byte-identical images
 and signature maps equal to a from-scratch
 :meth:`~repro.sig.compound.SignatureMap.compute` before being timed.
 
+The ``obs`` block compares the observability plane's bounded
+(log-bucketed, mergeable) histogram backend against the exact one on a
+deterministic latency stream: per-quantile relative error must stay
+under 5% with O(buckets) memory, or the harness fails.
+
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
 byte-identical against ``scheme.sign`` before its timing is reported --
@@ -62,7 +67,7 @@ from .sig import (BatchSigner, ChunkedSigner, IncrementalSignatureMap,
 from .store import PageStore
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v3"
+SCHEMA = "repro.bench/batch-engine/v4"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
@@ -84,6 +89,12 @@ STORE_CHURN_ROUNDS = 1
 #: Post-checkpoint journaled write region size in bytes.
 STORE_DIRTY_REGION_BYTES = 512
 STORE_PATHS = ("full_rescan", "checkpoint_fold", "checkpoint_fold_tail")
+
+#: Observability histogram bench: samples fed to both backends and the
+#: quantiles compared; the bucketed backend must land within this
+#: relative error of the exact one.
+OBS_QUANTILES = (50.0, 90.0, 99.0, 99.9)
+OBS_MAX_RELATIVE_ERROR = 0.05
 
 
 class BenchError(ReproError):
@@ -335,12 +346,72 @@ def _bench_store(page_count: int, repeats: int) -> dict:
     }
 
 
+def _bench_obs(samples: int, repeats: int) -> dict:
+    """Compare the bucketed histogram backend against the exact one.
+
+    Both backends observe the same deterministic lognormal latency
+    stream; the block reports per-quantile relative error (enforced
+    under :data:`OBS_MAX_RELATIVE_ERROR` -- a drifting sketch fails the
+    harness rather than shipping wrong percentiles), the bucket count
+    (the O(buckets) memory the mergeable backend holds versus the exact
+    backend's O(samples)), and observation throughput for both.
+    """
+    from .obs.registry import BucketedHistogram, Histogram
+
+    rng = np.random.default_rng(SEED + 3)
+    values = np.exp(rng.normal(loc=-7.0, scale=1.2, size=samples)).tolist()
+    exact = Histogram("obs.bench.exact", ())
+    bucketed = BucketedHistogram("obs.bench.bucketed", ())
+    for value in values:
+        exact.observe(value)
+        bucketed.observe(value)
+    quantiles = []
+    for p in OBS_QUANTILES:
+        reference = exact.percentile(p)
+        estimate = bucketed.percentile(p)
+        error = abs(estimate - reference) / reference
+        if error > OBS_MAX_RELATIVE_ERROR:
+            raise BenchError(
+                f"bucketed p{p:g} drifted {error:.1%} from exact "
+                f"(bound {OBS_MAX_RELATIVE_ERROR:.0%})")
+        quantiles.append({
+            "quantile": p,
+            "relative_error": round(error, 5),
+        })
+
+    def observe_exact() -> None:
+        histogram = Histogram("obs.bench.exact", ())
+        for value in values:
+            histogram.observe(value)
+
+    def observe_bucketed() -> None:
+        histogram = BucketedHistogram("obs.bench.bucketed", ())
+        for value in values:
+            histogram.observe(value)
+
+    exact_seconds = max(_best_seconds(observe_exact, repeats), 1e-9)
+    bucketed_seconds = max(_best_seconds(observe_bucketed, repeats), 1e-9)
+    return {
+        "samples": samples,
+        "bucket_count": len(bucketed.buckets()),
+        "max_relative_error": OBS_MAX_RELATIVE_ERROR,
+        "quantiles": quantiles,
+        "results": [
+            {"path": "exact", "seconds": round(exact_seconds, 6),
+             "samples_per_s": round(samples / exact_seconds, 3)},
+            {"path": "bucketed", "seconds": round(bucketed_seconds, 6),
+             "samples_per_s": round(samples / bucketed_seconds, 3)},
+        ],
+    }
+
+
 def run(quick: bool = False, workers: int = WORKERS) -> dict:
     """Run the harness; returns the JSON-able benchmark document."""
     page_count = 8 if quick else 48
     scalar_pages = 1 if quick else 2
     repeats = 2 if quick else 3
     store_pages = 16 if quick else 128
+    obs_samples = 20_000 if quick else 100_000
     pages = _make_pages(page_count, SEED)
     document = {
         "schema": SCHEMA,
@@ -365,12 +436,18 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
                 "dirty_region_bytes": STORE_DIRTY_REGION_BYTES,
                 "paths": list(STORE_PATHS),
             },
+            "obs": {
+                "samples": obs_samples,
+                "quantiles": list(OBS_QUANTILES),
+                "max_relative_error": OBS_MAX_RELATIVE_ERROR,
+            },
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)
             for f, n in FIELDS
         ],
         "store": _bench_store(store_pages, repeats),
+        "obs": _bench_obs(obs_samples, repeats),
         "verified": True,   # every path checked against scheme.sign above
     }
     return document

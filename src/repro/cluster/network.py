@@ -48,6 +48,10 @@ class FaultyNetwork:
         self._rngs: dict[tuple[str, str], random.Random] = {}
         #: Injected-fault counts by type (mirrors ``cluster.faults_injected``).
         self.injected: dict[str, int] = {}
+        #: Fault listeners ``fn(kind, source, destination)`` -- the
+        #: cluster runtime registers one that rings each injected fault
+        #: into the destination node's flight recorder.
+        self.listeners: list[Callable[[str, str, str], None]] = []
 
     def _rng(self, source: str, destination: str) -> random.Random:
         key = (source, destination)
@@ -59,9 +63,11 @@ class FaultyNetwork:
             self._rngs[key] = rng
         return rng
 
-    def _fault(self, kind: str) -> None:
+    def _fault(self, kind: str, source: str, destination: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
         get_registry().counter("cluster.faults_injected", type=kind).inc()
+        for listener in self.listeners:
+            listener(kind, source, destination)
 
     def transmit(self, source: str, destination: str, kind: str,
                  payload: bytes,
@@ -77,7 +83,7 @@ class FaultyNetwork:
                                         len(payload))
         now = self.loop.clock.now
         if self.plan.severed(now, source, destination):
-            self._fault("partition_drop")
+            self._fault("partition_drop", source, destination)
             return
         faults = self.plan.link(source, destination)
         if faults.is_clean:
@@ -86,21 +92,21 @@ class FaultyNetwork:
         rng = self._rng(source, destination)
         # Fixed draw order per message keeps the stream deterministic.
         if rng.random() < faults.drop:
-            self._fault("drop")
+            self._fault("drop", source, destination)
             return
         copies = 1
         if faults.duplicate and rng.random() < faults.duplicate:
-            self._fault("duplicate")
+            self._fault("duplicate", source, destination)
             copies = 2
         for _ in range(copies):
             delay = base_delay
             if faults.jitter:
                 extra = rng.random() * faults.jitter
                 if extra:
-                    self._fault("delay")
+                    self._fault("delay", source, destination)
                 delay += extra
             if faults.reorder and rng.random() < faults.reorder:
-                self._fault("reorder")
+                self._fault("reorder", source, destination)
                 delay += faults.reorder_delay
             body = payload
             if faults.corrupt and rng.random() < faults.corrupt and payload:
@@ -109,7 +115,7 @@ class FaultyNetwork:
                 corrupted = bytearray(payload)
                 corrupted[position] ^= mask
                 body = bytes(corrupted)
-                self._fault("corrupt")
+                self._fault("corrupt", source, destination)
             self.loop.after(delay, lambda body=body: deliver(body))
 
     def link_faults(self, source: str, destination: str) -> LinkFaults:

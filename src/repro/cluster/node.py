@@ -29,11 +29,13 @@ never half-parsed.
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 from enum import Enum
 
 from pathlib import Path
 
-from ..obs import get_registry
+from ..obs import activate, get_registry, span_if_active
+from ..obs.trace import TraceContext
 from ..sdds.record import Record
 from ..sdds.server import SDDSServer
 from ..sig.scheme import AlgebraicSignatureScheme
@@ -143,6 +145,20 @@ class ClusterNode:
     # RPC handling
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _traced(self, name: str, context: TraceContext | None, **labels):
+        # Child span parented on the *frame's* context -- never the
+        # ambient stack, which may belong to a different operation when
+        # a duplicated or late frame arrives mid-handling.  Yields None
+        # untraced, so callers work with or without an envelope.
+        if context is None:
+            yield None
+            return
+        traces = self.cluster.traces
+        with activate(traces), \
+                traces.child(name, context, node=self.name, **labels) as span:
+            yield span
+
     def receive_request(self, data: bytes) -> None:
         """Handle one delivered client request payload."""
         body = wire.unseal(self.scheme, data)
@@ -150,20 +166,39 @@ class ClusterNode:
         if body is None:
             registry.counter("cluster.corruptions_detected",
                              where="request").inc()
+            self.cluster.report_seal_failure(self.name, "request", data)
             return
+        recorder = self.cluster.recorder_for(self.name)
+        if recorder is not None:
+            recorder.record_frame("recv", "request", "", data)
         if not self.is_up:
             registry.counter("cluster.down_drops", node=self.name).inc()
             return
-        op, request_id, key, value = wire.decode_request(body)
+        context, inner = wire.decode_traced(body)
+        op, request_id, key, value = wire.decode_request(inner)
+        op_name = wire.OP_NAMES[op]
         cached = self._reply_cache.get(request_id)
         if cached is None:
-            status, reply_value = self._execute(op, key, value)
-            reply = wire.encode_reply(status, request_id, reply_value)
+            with self._traced(f"node.handle.{op_name}", context,
+                              key=str(key)) as span:
+                status, reply_value = self._execute(op, key, value)
+                if span is not None:
+                    span.event("executed", status=wire.ST_NAMES[status])
+            reply_context = None if span is None else span.context
+            reply = wire.encode_traced(
+                reply_context, wire.encode_reply(status, request_id,
+                                                 reply_value)
+            )
             cached = wire.seal(self.scheme, reply)
             self._reply_cache[request_id] = cached
         else:
             registry.counter("cluster.rpc_replays", node=self.name).inc()
+            with self._traced(f"node.replay.{op_name}", context,
+                              key=str(key)):
+                pass
         client = self.cluster.client_for_request(request_id)
+        if recorder is not None:
+            recorder.record_frame("send", "reply", client.name, cached)
         self.cluster.faulty_network.transmit(
             self.name, client.name, REPLY_KIND, cached, client.receive_reply
         )
@@ -281,24 +316,32 @@ class ClusterNode:
         if not send_mirror_updates or not extents:
             return
         host = self.cluster.mirror_host(self.index)
+        # Delta frames inherit the trace context of the operation that
+        # dirtied the image (the ambient span during RPC handling), so
+        # the mirror application on the host lands in the same tree.
+        context = self.cluster.traces.current
         bodies = []
         delta_bytes = 0
-        for lo, hi in extents:
-            old_part = previous[lo:hi]
-            new_part = current[lo:hi]
-            width = max(len(old_part), len(new_part))
-            delta = (
-                int.from_bytes(old_part, "little")
-                ^ int.from_bytes(new_part, "little")
-            ).to_bytes(width, "little")
-            bodies.append(wire.encode_delta(len(current), lo, delta))
-            delta_bytes += len(delta)
-        # One batched signing pass seals the whole burst of patches.
-        for sealed in wire.seal_many(self.scheme, bodies):
-            self.cluster.faulty_network.transmit(
-                self.name, host.name, DELTA_KIND, sealed,
-                host.receive_mirror_delta,
-            )
+        with span_if_active("node.mirror_ship", node=self.name,
+                            extents=str(len(extents))):
+            for lo, hi in extents:
+                old_part = previous[lo:hi]
+                new_part = current[lo:hi]
+                width = max(len(old_part), len(new_part))
+                delta = (
+                    int.from_bytes(old_part, "little")
+                    ^ int.from_bytes(new_part, "little")
+                ).to_bytes(width, "little")
+                bodies.append(wire.encode_traced(
+                    context, wire.encode_delta(len(current), lo, delta)
+                ))
+                delta_bytes += len(delta)
+            # One batched signing pass seals the whole burst of patches.
+            for sealed in wire.seal_many(self.scheme, bodies):
+                self.cluster.faulty_network.transmit(
+                    self.name, host.name, DELTA_KIND, sealed,
+                    host.receive_mirror_delta,
+                )
         registry = get_registry()
         registry.counter("cluster.mirror_deltas",
                          source=self.name).inc(len(bodies))
@@ -312,14 +355,17 @@ class ClusterNode:
         if body is None:
             registry.counter("cluster.corruptions_detected",
                              where="mirror").inc()
+            self.cluster.report_seal_failure(self.name, "mirror", data)
             return
         if not self.is_up or self.mirror is None:
             registry.counter("cluster.down_drops", node=self.name).inc()
             return
-        image_len, page_index, page = wire.decode_mirror(body)
-        self.mirror.write_page(page_index, page)
-        if len(self.mirror.data) > image_len:
-            self.mirror.truncate(image_len)
+        context, inner = wire.decode_traced(body)
+        image_len, page_index, page = wire.decode_mirror(inner)
+        with self._traced("node.mirror_page", context):
+            self.mirror.write_page(page_index, page)
+            if len(self.mirror.data) > image_len:
+                self.mirror.truncate(image_len)
 
     def receive_mirror_delta(self, data: bytes) -> None:
         """XOR one delivered delta patch onto the hosted mirror.
@@ -334,14 +380,20 @@ class ClusterNode:
         if body is None:
             registry.counter("cluster.corruptions_detected",
                              where="mirror").inc()
+            self.cluster.report_seal_failure(self.name, "mirror", data)
             return
+        recorder = self.cluster.recorder_for(self.name)
+        if recorder is not None:
+            recorder.record_frame("recv", "mirror_delta", "", data)
         if not self.is_up or self.mirror is None:
             registry.counter("cluster.down_drops", node=self.name).inc()
             return
-        image_len, offset, delta = wire.decode_delta(body)
-        self.mirror.apply_xor(offset, delta)
-        if len(self.mirror.data) > image_len:
-            self.mirror.truncate(image_len)
+        context, inner = wire.decode_traced(body)
+        image_len, offset, delta = wire.decode_delta(inner)
+        with self._traced("node.mirror_apply", context):
+            self.mirror.apply_xor(offset, delta)
+            if len(self.mirror.data) > image_len:
+                self.mirror.truncate(image_len)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -30,7 +30,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import ReproError
-from ..obs import get_registry
+from ..obs import (
+    FlightRecorder,
+    RecorderDump,
+    TraceStore,
+    activate,
+    frame_digest,
+    get_registry,
+)
 from ..parity import LHRSStore
 from ..sdds.record import Record
 from ..sig.engine import get_batch_signer
@@ -113,6 +120,15 @@ class Cluster:
         )
         self.faulty_network = FaultyNetwork(self.network, self.loop,
                                             self.plan, seed=seed)
+        #: The telemetry plane: one trace store assembling per-op
+        #: cross-node trees, one bounded flight recorder per node (and
+        #: per client), and the run-level list of sealed post-mortem
+        #: dumps every recorder drains into.
+        self.traces = TraceStore(seed=seed, clock=self.clock)
+        self.recorders: dict[str, FlightRecorder] = {}
+        self.dumps: list[RecorderDump] = []
+        self.traces.on_finish = self._on_span_finished
+        self.faulty_network.listeners.append(self._on_link_fault)
         self.parity = LHRSStore(self.scheme, data_buckets=servers,
                                 parity_buckets=parity_buckets,
                                 record_bytes=record_bytes)
@@ -120,6 +136,8 @@ class Cluster:
             ClusterNode(index, self, self.scheme, page_bytes)
             for index in range(servers)
         ]
+        for node in self.nodes:
+            self._add_recorder(node.name)
         #: Durable mode (PR 5): every node appends its image extents to
         #: a sealed per-node log; a ``Crash`` then recovers by certified
         #: local replay instead of LH*RS reconstruction.
@@ -167,6 +185,7 @@ class Cluster:
         index = len(self.clients)
         client = ClusterClient(index, name or f"client{index}", self)
         self.clients.append(client)
+        self._add_recorder(client.name)
         return client
 
     def client_for_request(self, request_id: int) -> "ClusterClient":
@@ -175,6 +194,56 @@ class Cluster:
         if index >= len(self.clients):
             raise ClusterError(f"request id {request_id} from unknown client")
         return self.clients[index]
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+
+    def _add_recorder(self, name: str) -> FlightRecorder:
+        """Create the participant's flight recorder, sunk into dumps."""
+        recorder = FlightRecorder(name, self.scheme, clock=self.clock)
+        recorder.sinks.append(self.dumps.append)
+        self.recorders[name] = recorder
+        return recorder
+
+    def recorder_for(self, name: str) -> FlightRecorder | None:
+        """The named participant's flight recorder (None if unknown)."""
+        return self.recorders.get(name)
+
+    def _on_span_finished(self, span) -> None:
+        """Ring every finished span into its emitting node's recorder."""
+        recorder = self.recorders.get(span.node)
+        if recorder is not None:
+            recorder.record_span(span)
+
+    def _on_link_fault(self, kind: str, source: str,
+                       destination: str) -> None:
+        """Ring each injected network fault into the receiver's recorder.
+
+        The receiver is the party that must *detect* the damage (or
+        never learns the frame existed, for drops); its post-mortem
+        bundle therefore carries the ground-truth injection alongside
+        whatever its seal verification saw.
+        """
+        recorder = self.recorders.get(destination)
+        if recorder is not None:
+            recorder.record_fault(f"link_{kind}", source=source)
+
+    def report_seal_failure(self, name: str, where: str,
+                            frame: bytes) -> None:
+        """Dump a post-mortem bundle for one failed seal verification.
+
+        Called by nodes and clients the moment :func:`wire.unseal`
+        rejects a frame: the bundle names the failing frame by its
+        signature-tail digest, so every ``corruptions_detected``
+        increment has matching sealed evidence.
+        """
+        recorder = self.recorders.get(name)
+        if recorder is None:
+            return
+        digest = frame_digest(self.scheme, frame)
+        recorder.record_fault("seal_failure", digest=digest, where=where)
+        recorder.dump("seal_failure", digest=digest, where=where)
 
     # ------------------------------------------------------------------
     # Crashes and self-healing
@@ -211,30 +280,44 @@ class Cluster:
             # node's crash degrades the LH*RS store.
             self.parity.fail_bucket(node.index)
         get_registry().counter("cluster.crashes", node=node.name).inc()
+        recorder = self.recorder_for(node.name)
+        if recorder is not None:
+            recorder.record_fault("crash", durable=str(durable).lower())
+            recorder.dump("crash")
         self.loop.at(crash.recover_at,
                      lambda: self._recover(node, crashed_at=crash.at))
 
     def _recover(self, node: ClusterNode, crashed_at: float) -> None:
-        """Recovery dispatch: certified local replay, else LH*RS."""
+        """Recovery dispatch: certified local replay, else LH*RS.
+
+        The whole pipeline runs inside a ``node.recover`` trace root,
+        so the storage-plane and parity spans it triggers assemble into
+        one recovery tree per crash.
+        """
         registry = get_registry()
         node.state = NodeState.RECOVERING
-        durable = node.store_dir is not None and self._recover_durable(node)
-        if not durable:
-            if node.store_dir is not None:
-                # The local log could not certify the bucket: fall back
-                # to full LH*RS reconstruction.
-                self.parity.fail_bucket(node.index)
-                registry.counter("cluster.durable_fallbacks",
-                                 node=node.name).inc()
-            self._recover_parity(node)
-            if node.store_dir is not None:
-                # Re-seed the durable log from the reconstructed state.
-                node.attach_store(self._fresh_store(node))
-        predecessor = self.nodes[(node.index - 1) % len(self.nodes)]
-        node.make_mirror(predecessor.name)
-        node.state = NodeState.UP
-        self._repair_pair(predecessor, phase="recovery")
-        self._repair_pair(node, phase="recovery")
+        with activate(self.traces), \
+                self.traces.begin("node.recover", node=node.name) as span:
+            durable = node.store_dir is not None and \
+                self._recover_durable(node)
+            if not durable:
+                if node.store_dir is not None:
+                    # The local log could not certify the bucket: fall
+                    # back to full LH*RS reconstruction.
+                    self.parity.fail_bucket(node.index)
+                    registry.counter("cluster.durable_fallbacks",
+                                     node=node.name).inc()
+                self._recover_parity(node)
+                if node.store_dir is not None:
+                    # Re-seed the durable log from the recovered state.
+                    node.attach_store(self._fresh_store(node))
+            span.event("bucket_rebuilt",
+                       path="durable" if durable else "parity")
+            predecessor = self.nodes[(node.index - 1) % len(self.nodes)]
+            node.make_mirror(predecessor.name)
+            node.state = NodeState.UP
+            self._repair_pair(predecessor, phase="recovery")
+            self._repair_pair(node, phase="recovery")
         registry.counter("cluster.recoveries", node=node.name).inc()
         registry.histogram("cluster.recovery_seconds").observe(
             self.clock.now - crashed_at
@@ -258,6 +341,15 @@ class Cluster:
             )
         except (ReproError, OSError):
             return False
+        recorder = self.recorder_for(node.name)
+        if recorder is not None:
+            for volume_name, pages in sorted(report.condemned.items()):
+                if pages:
+                    recorder.record_fault("page_condemned",
+                                          pages=list(pages),
+                                          volume=volume_name)
+                    recorder.dump("page_condemned", pages=list(pages),
+                                  volume=volume_name)
         volume = node.IMAGE_VOLUME
         if volume not in store.volumes():
             store.close()
@@ -457,35 +549,49 @@ class ClusterClient:
         node = self.cluster.node_for(key)
         request_id = (self.index << 32) | self._seq
         self._seq += 1
-        sealed = wire.seal(self.cluster.scheme,
-                           wire.encode_request(op, request_id, key, value))
         registry = get_registry()
         policy = self.cluster.retry
         loop = self.cluster.loop
+        traces = self.cluster.traces
+        recorder = self.cluster.recorder_for(self.name)
         started = loop.clock.now
         self._pending.add(request_id)
         try:
-            for attempt in range(policy.max_attempts):
-                if attempt:
-                    registry.counter("cluster.retries", op=op_name).inc()
-                self.cluster.faulty_network.transmit(
-                    self.name, node.name, REQUEST_KINDS[op], sealed,
-                    node.receive_request,
-                )
-                deadline = loop.clock.now + policy.timeout_for(
-                    attempt, self._rng
-                )
-                if loop.run_until(deadline,
-                                  stop=lambda: request_id in self._replies):
-                    break
-                registry.counter("cluster.timeouts", op=op_name).inc()
-            else:
-                registry.counter("cluster.ops", op=op_name,
-                                 status="gave_up").inc()
-                raise RetryExhaustedError(
-                    f"{op_name}({key}) failed after "
-                    f"{policy.max_attempts} attempts"
-                )
+            with activate(traces), \
+                    traces.begin(f"rpc.{op_name}", node=self.name,
+                                 key=str(key), target=node.name) as root:
+                sealed = wire.seal(self.cluster.scheme, wire.encode_traced(
+                    root.context,
+                    wire.encode_request(op, request_id, key, value),
+                ))
+                for attempt in range(policy.max_attempts):
+                    if attempt:
+                        registry.counter("cluster.retries",
+                                         op=op_name).inc()
+                        root.event("retry", attempt=attempt + 1)
+                    if recorder is not None:
+                        recorder.record_frame("send", "request", node.name,
+                                              sealed)
+                    self.cluster.faulty_network.transmit(
+                        self.name, node.name, REQUEST_KINDS[op], sealed,
+                        node.receive_request,
+                    )
+                    deadline = loop.clock.now + policy.timeout_for(
+                        attempt, self._rng
+                    )
+                    if loop.run_until(
+                            deadline,
+                            stop=lambda: request_id in self._replies):
+                        break
+                    registry.counter("cluster.timeouts", op=op_name).inc()
+                else:
+                    registry.counter("cluster.ops", op=op_name,
+                                     status="gave_up").inc()
+                    root.finish("gave_up")
+                    raise RetryExhaustedError(
+                        f"{op_name}({key}) failed after "
+                        f"{policy.max_attempts} attempts"
+                    )
         finally:
             self._pending.discard(request_id)
         status_code, reply_value = self._replies.pop(request_id)
@@ -505,8 +611,13 @@ class ClusterClient:
         if body is None:
             registry.counter("cluster.corruptions_detected",
                              where="reply").inc()
+            self.cluster.report_seal_failure(self.name, "reply", data)
             return
-        status, request_id, value = wire.decode_reply(body)
+        recorder = self.cluster.recorder_for(self.name)
+        if recorder is not None:
+            recorder.record_frame("recv", "reply", "", data)
+        _context, inner = wire.decode_traced(body)
+        status, request_id, value = wire.decode_reply(inner)
         if request_id not in self._pending or request_id in self._replies:
             # A late or duplicated reply for a settled operation.
             registry.counter("cluster.stale_replies").inc()

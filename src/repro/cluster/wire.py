@@ -18,6 +18,16 @@ deserializer):
 * delta:    ``image_len(8) || offset(8) || delta bytes`` -- a mirror
   patch carrying only ``before XOR after`` of a changed extent; the
   seal covers the frame, so corrupt deltas are dropped, not applied.
+
+Cluster frames additionally carry a 16-byte **trace envelope** ahead of
+the body -- ``trace_id(8) || span_id(8)``, the
+:class:`~repro.obs.trace.TraceContext` of the operation the frame
+belongs to -- so a receiving node parents its handling span under the
+sender's span and per-operation trace trees assemble across nodes.
+The envelope sits *inside* the seal: a corrupted trace id is a
+detected bad frame like any other corruption, never a mis-filed span.
+A zero trace id means "untraced" (the all-zero envelope is what
+non-traced senders emit).
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 import struct
 
 from ..errors import ReproError
+from ..obs.trace import TraceContext
 from ..sig.scheme import AlgebraicSignatureScheme
 
 # Operation codes (request ``op`` byte).
@@ -52,6 +63,7 @@ _REQUEST = struct.Struct("<BQII")
 _REPLY = struct.Struct("<BQI")
 _MIRROR = struct.Struct("<QI")
 _DELTA = struct.Struct("<QQ")
+_TRACED = struct.Struct("<QQ")
 
 
 class WireError(ReproError):
@@ -92,6 +104,33 @@ def unseal(scheme: AlgebraicSignatureScheme, data: bytes) -> bytes | None:
     if scheme.sign(body, strict=False).to_bytes() != tail:
         return None
     return body
+
+
+# ----------------------------------------------------------------------
+# The trace envelope: causality propagation inside the seal
+# ----------------------------------------------------------------------
+
+def encode_traced(context: TraceContext | None, body: bytes) -> bytes:
+    """Prepend the trace envelope (all-zero when ``context`` is None)."""
+    if context is None:
+        return _TRACED.pack(0, 0) + body
+    return _TRACED.pack(context.trace_id, context.span_id) + body
+
+
+def decode_traced(body: bytes) -> tuple[TraceContext | None, bytes]:
+    """Split a sealed-and-verified frame body into (context, inner body).
+
+    Returns ``None`` for the context when the envelope is all zero
+    (an untraced sender).  Only call this on bodies that passed
+    :func:`unseal` -- the envelope has no integrity of its own.
+    """
+    if len(body) < _TRACED.size:
+        raise WireError("truncated trace envelope")
+    trace_id, span_id = _TRACED.unpack_from(body)
+    inner = body[_TRACED.size:]
+    if trace_id == 0:
+        return None, inner
+    return TraceContext(trace_id, span_id), inner
 
 
 # ----------------------------------------------------------------------

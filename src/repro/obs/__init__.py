@@ -18,10 +18,12 @@ Quick tour::
 """
 
 from .registry import (
+    BucketedHistogram,
     Counter,
     Gauge,
     HandleCache,
     Histogram,
+    HistogramBase,
     MetricError,
     MetricsRegistry,
     Snapshotable,
@@ -33,13 +35,28 @@ from .registry import (
 )
 from .tracer import Span, SpanEvent, Tracer
 from .report import SCHEMA, RunReport
+from .trace import (
+    TRACE_SCHEMA,
+    SpanHandle,
+    TraceContext,
+    TraceError,
+    TraceSpan,
+    TraceStore,
+    activate,
+    active_store,
+    span_if_active,
+)
+from .recorder import FlightRecorder, RecorderDump, frame_digest
+from .prometheus import to_prometheus
 
 __all__ = [
+    "BucketedHistogram",
     "Counter",
     "Gauge",
     "HandleCache",
     "registry_epoch",
     "Histogram",
+    "HistogramBase",
     "MetricError",
     "MetricsRegistry",
     "Snapshotable",
@@ -52,4 +69,17 @@ __all__ = [
     "Tracer",
     "RunReport",
     "SCHEMA",
+    "TRACE_SCHEMA",
+    "SpanHandle",
+    "TraceContext",
+    "TraceError",
+    "TraceSpan",
+    "TraceStore",
+    "activate",
+    "active_store",
+    "span_if_active",
+    "FlightRecorder",
+    "RecorderDump",
+    "frame_digest",
+    "to_prometheus",
 ]

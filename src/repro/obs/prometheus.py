@@ -1,0 +1,118 @@
+"""Prometheus text exposition for the metrics registry.
+
+The SDDS accounting lives in dotted series (``cluster.op_seconds``,
+``sig.bytes_signed``); this module renders a
+:class:`~repro.obs.registry.MetricsRegistry` in the Prometheus
+text-based exposition format (version 0.0.4) so any scrape-based stack
+ingests the paper's numbers directly:
+
+* every name is prefixed ``repro_`` and dots become underscores;
+* counters are suffixed ``_total``;
+* exact histograms expose as *summaries* (pre-computed ``quantile``
+  labels plus ``_sum``/``_count``), since raw samples give exact
+  percentiles but no fixed bucket layout;
+* bucketed histograms expose as native *histograms*: cumulative
+  ``_bucket{le=...}`` series over their logarithmic buckets, ending in
+  ``le="+Inf"``, plus ``_sum``/``_count``.
+
+Output is deterministic (series sorted by name then labels), so two
+same-seed simulation runs expose byte-identical text -- the cluster's
+determinism discipline extended to the scrape surface.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    BucketedHistogram,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: Quantiles exposed for exact (summary-style) histograms.
+SUMMARY_QUANTILES = (("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0),
+                     ("0.999", 99.9))
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    return "repro_" + name.replace(".", "_") + suffix
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def _format_labels(items, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{key}="{_escape(value)}"' for key, value in (*items, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_number(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _line(name: str, items, value, extra=()) -> str:
+    return f"{name}{_format_labels(items, tuple(extra))} " \
+        f"{_format_number(value)}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every series in the Prometheus text exposition format.
+
+    Returns the full scrape page as one string, terminated by a
+    newline, with one ``# TYPE`` header per metric name.
+    """
+    by_name: dict[str, list] = {}
+    for series in registry.series():
+        by_name.setdefault(series.name, []).append(series)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        first = group[0]
+        if isinstance(first, Counter):
+            metric = _metric_name(name, "_total")
+            lines.append(f"# TYPE {metric} counter")
+            for series in group:
+                lines.append(_line(metric, series.labels, series.value))
+        elif isinstance(first, BucketedHistogram):
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            for series in group:
+                cumulative = 0
+                for bound, count in series.buckets():
+                    cumulative += count
+                    lines.append(_line(
+                        f"{metric}_bucket", series.labels, cumulative,
+                        extra=(("le", _format_number(float(bound))),),
+                    ))
+                lines.append(_line(f"{metric}_bucket", series.labels,
+                                   series.count, extra=(("le", "+Inf"),)))
+                lines.append(_line(f"{metric}_sum", series.labels,
+                                   series.sum))
+                lines.append(_line(f"{metric}_count", series.labels,
+                                   series.count))
+        elif isinstance(first, Histogram):
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} summary")
+            for series in group:
+                for quantile, p in SUMMARY_QUANTILES:
+                    lines.append(_line(
+                        metric, series.labels, series.percentile(p),
+                        extra=(("quantile", quantile),),
+                    ))
+                lines.append(_line(f"{metric}_sum", series.labels,
+                                   series.sum))
+                lines.append(_line(f"{metric}_count", series.labels,
+                                   series.count))
+        else:  # Gauge
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            for series in group:
+                lines.append(_line(metric, series.labels, series.value))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 
-from .registry import Histogram, MetricsRegistry, labels_to_str
+from .registry import HistogramBase, MetricsRegistry, labels_to_str
 from .tracer import Tracer
 
 #: Version tag of the JSON layout; bump on incompatible changes.
@@ -29,6 +29,7 @@ def _format_histogram(summary: dict) -> str:
     return (f"n={summary['count']} p50={_format_value(summary['p50'])} "
             f"p90={_format_value(summary['p90'])} "
             f"p99={_format_value(summary['p99'])} "
+            f"p999={_format_value(summary['p999'])} "
             f"max={_format_value(summary['max'])}")
 
 
@@ -81,7 +82,7 @@ class RunReport:
         for group in sorted(groups):
             rows = []
             for series in groups[group]:
-                if isinstance(series, Histogram):
+                if isinstance(series, HistogramBase):
                     value = _format_histogram(series.snapshot()["value"])
                 else:
                     value = _format_value(series.value)

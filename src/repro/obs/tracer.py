@@ -52,9 +52,11 @@ class Span:
             fields=dict(sorted(fields.items())),
         ))
 
-    # Patched in by the tracer so events can read the sim clock.
+    # Patched in by the tracer so events can read the sim clock.  The
+    # fallback returns the start itself (offset 0): ``sim_start or
+    # 0.0`` would misread a legitimate start at t=0.0 as "no clock".
     def _sim_now(self) -> float:
-        return self.sim_start or 0.0
+        return self.sim_start if self.sim_start is not None else 0.0
 
 
 class Tracer:

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..errors import KeyNotFoundError, ParityError
 from ..gf.vectorized import as_symbol_array, symbols_to_bytes
-from ..obs import get_registry
+from ..obs import get_registry, span_if_active
 from ..sig.scheme import AlgebraicSignatureScheme
 from .consistency import parity_consistent
 from .reed_solomon import ReedSolomonCode
@@ -162,17 +162,18 @@ class LHRSStore:
             raise ParityError(f"key {key} already stored")
         bucket = self.bucket_of(key)
         self._check_available(bucket)
-        if self._free_ranks[bucket]:
-            rank = self._free_ranks[bucket].pop()
-        else:
-            rank = len(self._data[bucket])
-        self._ensure_rank(rank)
-        word = self._encode_word(value)
-        delta = self._data[bucket][rank] ^ word
-        self._data[bucket][rank] = word
-        self._apply_delta(bucket, rank, delta)
-        self._directory[key] = _Slot(bucket, rank)
-        self._parity_keys.setdefault(rank, {})[bucket] = key
+        with span_if_active("parity.insert", bucket=str(bucket)):
+            if self._free_ranks[bucket]:
+                rank = self._free_ranks[bucket].pop()
+            else:
+                rank = len(self._data[bucket])
+            self._ensure_rank(rank)
+            word = self._encode_word(value)
+            delta = self._data[bucket][rank] ^ word
+            self._data[bucket][rank] = word
+            self._apply_delta(bucket, rank, delta)
+            self._directory[key] = _Slot(bucket, rank)
+            self._parity_keys.setdefault(rank, {})[bucket] = key
 
     def get(self, key: int) -> bytes:
         """Read a record's value."""
@@ -184,23 +185,25 @@ class LHRSStore:
         """Replace a record's value, updating parity by delta."""
         slot = self._slot(key)
         self._check_available(slot.bucket)
-        word = self._encode_word(value)
-        delta = self._data[slot.bucket][slot.rank] ^ word
-        self._data[slot.bucket][slot.rank] = word
-        self._apply_delta(slot.bucket, slot.rank, delta)
+        with span_if_active("parity.update", bucket=str(slot.bucket)):
+            word = self._encode_word(value)
+            delta = self._data[slot.bucket][slot.rank] ^ word
+            self._data[slot.bucket][slot.rank] = word
+            self._apply_delta(slot.bucket, slot.rank, delta)
 
     def delete(self, key: int) -> bytes:
         """Remove a record (its slot zeroes out of the code word)."""
         slot = self._slot(key)
         self._check_available(slot.bucket)
-        value = self._decode_word(self._data[slot.bucket][slot.rank])
-        delta = self._data[slot.bucket][slot.rank]  # XOR to zero
-        self._data[slot.bucket][slot.rank] = self._zero_word()
-        self._apply_delta(slot.bucket, slot.rank, delta)
-        del self._directory[key]
-        self._parity_keys[slot.rank].pop(slot.bucket, None)
-        self._free_ranks[slot.bucket].append(slot.rank)
-        return value
+        with span_if_active("parity.delete", bucket=str(slot.bucket)):
+            value = self._decode_word(self._data[slot.bucket][slot.rank])
+            delta = self._data[slot.bucket][slot.rank]  # XOR to zero
+            self._data[slot.bucket][slot.rank] = self._zero_word()
+            self._apply_delta(slot.bucket, slot.rank, delta)
+            del self._directory[key]
+            self._parity_keys[slot.rank].pop(slot.bucket, None)
+            self._free_ranks[slot.bucket].append(slot.rank)
+            return value
 
     def _slot(self, key: int) -> _Slot:
         if key not in self._directory:
@@ -237,20 +240,25 @@ class LHRSStore:
             )
         restored = 0
         ranks = self._rank_count()
-        for rank in range(ranks):
-            shards: dict[int, np.ndarray] = {}
-            for bucket in range(self.m):
-                if bucket not in self._failed:
-                    shards[bucket] = self._data[bucket][rank]
-            for parity_index in range(self.k):
-                shards[self.m + parity_index] = self._parity[parity_index][rank]
-            words = self.code.reconstruct(shards)
-            for bucket in self._failed:
-                self._data[bucket][rank] = words[bucket]
-                key = self._parity_keys.get(rank, {}).get(bucket)
-                if key is not None:
-                    self._directory[key] = _Slot(bucket, rank)
-                    restored += 1
+        with span_if_active("parity.recover",
+                            failed=str(len(self._failed))) as span:
+            for rank in range(ranks):
+                shards: dict[int, np.ndarray] = {}
+                for bucket in range(self.m):
+                    if bucket not in self._failed:
+                        shards[bucket] = self._data[bucket][rank]
+                for parity_index in range(self.k):
+                    shards[self.m + parity_index] = \
+                        self._parity[parity_index][rank]
+                words = self.code.reconstruct(shards)
+                for bucket in self._failed:
+                    self._data[bucket][rank] = words[bucket]
+                    key = self._parity_keys.get(rank, {}).get(bucket)
+                    if key is not None:
+                        self._directory[key] = _Slot(bucket, rank)
+                        restored += 1
+            if span is not None:
+                span.event("reconstructed", ranks=ranks, restored=restored)
         registry = get_registry()
         registry.counter("parity.recoveries").inc()
         registry.counter("parity.ranks_reconstructed").inc(ranks)

@@ -21,7 +21,7 @@ from enum import Enum
 from typing import TYPE_CHECKING
 
 from ..errors import DuplicateKeyError, KeyNotFoundError, SDDSError
-from ..obs import get_registry
+from ..obs import get_registry, span_if_active
 from ..sig.algebra import apply_update
 from ..sig.incremental import IncrementalSignatureMap, aligned_span
 from ..sig.rolling import find_signature_matches
@@ -99,35 +99,38 @@ class SDDSServer:
     def search(self, key: int) -> Record | None:
         """Return the record or None."""
         self.stats.searches += 1
-        try:
-            return self.bucket.get(key)
-        except KeyNotFoundError:
-            return None
+        with span_if_active("sdds.search", node=self.name):
+            try:
+                return self.bucket.get(key)
+            except KeyNotFoundError:
+                return None
 
     def insert(self, record: Record, stored_signature: Signature | None = None) -> bool:
         """Insert; returns False on duplicate key."""
         self.stats.inserts += 1
-        try:
-            self.bucket.insert(record)
-        except DuplicateKeyError:
-            return False
-        if self.store_signatures:
-            if stored_signature is None:
-                stored_signature = self._compute_signature(record.value)
-            self._stored_sigs[record.key] = stored_signature
-        self._sync_durable_index()
-        return True
+        with span_if_active("sdds.insert", node=self.name):
+            try:
+                self.bucket.insert(record)
+            except DuplicateKeyError:
+                return False
+            if self.store_signatures:
+                if stored_signature is None:
+                    stored_signature = self._compute_signature(record.value)
+                self._stored_sigs[record.key] = stored_signature
+            self._sync_durable_index()
+            return True
 
     def delete(self, key: int) -> Record | None:
         """Delete; returns the removed record or None."""
         self.stats.deletes += 1
-        try:
-            record = self.bucket.delete(key)
-        except KeyNotFoundError:
-            return None
-        self._stored_sigs.pop(key, None)
-        self._sync_durable_index()
-        return record
+        with span_if_active("sdds.delete", node=self.name):
+            try:
+                record = self.bucket.delete(key)
+            except KeyNotFoundError:
+                return None
+            self._stored_sigs.pop(key, None)
+            self._sync_durable_index()
+            return record
 
     # ------------------------------------------------------------------
     # Signature protocol (Section 2.2, server side)
@@ -167,30 +170,34 @@ class SDDSServer:
         only the changed extent of the record is signed, so a small
         update to a large record costs O(|delta|), not O(|record|).
         """
-        try:
-            record = self.bucket.get(key)
-        except KeyNotFoundError:
-            return UpdateOutcome.MISSING
-        if self.store_signatures and key in self._stored_sigs:
-            current = self._stored_sigs[key]
-        else:
-            current = self._compute_signature(record.value)
-        if current != before_signature:
-            self.stats.updates_rejected += 1
+        with span_if_active("sdds.conditional_update", node=self.name) as span:
+            try:
+                record = self.bucket.get(key)
+            except KeyNotFoundError:
+                return UpdateOutcome.MISSING
+            if self.store_signatures and key in self._stored_sigs:
+                current = self._stored_sigs[key]
+            else:
+                current = self._compute_signature(record.value)
+            if current != before_signature:
+                self.stats.updates_rejected += 1
+                get_registry().counter("sdds.server.updates",
+                                       outcome="rejected").inc()
+                if span is not None:
+                    span.event("conflict")
+                return UpdateOutcome.CONFLICT
+            before_value = record.value
+            self.bucket.update(key, after_value)
+            if self.store_signatures:
+                if after_signature is None:
+                    after_signature = self._updated_signature(
+                        current, before_value, after_value)
+                self._stored_sigs[key] = after_signature
+            self.stats.updates_applied += 1
             get_registry().counter("sdds.server.updates",
-                                   outcome="rejected").inc()
-            return UpdateOutcome.CONFLICT
-        before_value = record.value
-        self.bucket.update(key, after_value)
-        if self.store_signatures:
-            if after_signature is None:
-                after_signature = self._updated_signature(
-                    current, before_value, after_value)
-            self._stored_sigs[key] = after_signature
-        self.stats.updates_applied += 1
-        get_registry().counter("sdds.server.updates", outcome="applied").inc()
-        self._sync_durable_index()
-        return UpdateOutcome.APPLIED
+                                   outcome="applied").inc()
+            self._sync_durable_index()
+            return UpdateOutcome.APPLIED
 
     def _updated_signature(self, current: Signature, before_value: bytes,
                            after_value: bytes) -> Signature:

@@ -110,6 +110,14 @@ class SignatureTree:
             )
             lengths[-1] = tail
         leaves = list(zip(signature_map.signatures, lengths))
+        if not leaves:
+            # A zero-length buffer still has a well-defined tree: one
+            # leaf carrying the empty signature over zero symbols, whose
+            # root therefore equals the flat signature of the (empty)
+            # buffer.  Checkpointing a volume truncated to nothing
+            # depends on this.
+            scheme = signature_map.scheme
+            leaves = [(scheme.sign(b"", strict=False), 0)]
         return cls.from_leaves(signature_map.scheme, leaves, fanout)
 
     # ------------------------------------------------------------------

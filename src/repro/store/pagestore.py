@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import StoreError
-from ..obs import get_registry
+from ..obs import get_registry, span_if_active
 from ..sig.compound import SignatureMap
 from ..sig.engine import get_batch_signer
 from ..sig.incremental import IncrementalSignatureMap, WriteJournal
@@ -317,32 +317,36 @@ class PageStore:
         width = max(len(before), len(after))
         if width == 0:
             return None
-        self._require(volume)
-        delta = (
-            int.from_bytes(before, "little") ^ int.from_bytes(after, "little")
-        ).to_bytes(width, "little")
-        frame = fr.Frame(fr.KIND_DELTA, self._take_seq(), volume,
-                         fr.encode_delta(image_len, offset, delta))
-        return self._append([frame])[0]
+        with span_if_active("store.record_extent", volume=volume):
+            self._require(volume)
+            delta = (
+                int.from_bytes(before, "little")
+                ^ int.from_bytes(after, "little")
+            ).to_bytes(width, "little")
+            frame = fr.Frame(fr.KIND_DELTA, self._take_seq(), volume,
+                             fr.encode_delta(image_len, offset, delta))
+            return self._append([frame])[0]
 
     def append_journal(self, volume: str, journal: WriteJournal,
                        image_len: int) -> int:
         """Durably log a whole write journal (one batched sealing pass)."""
         self._require(volume)
-        frame_list = [
-            fr.Frame(fr.KIND_DELTA, self._take_seq(), volume,
-                     fr.encode_delta(image_len, entry.offset,
-                                     (int.from_bytes(entry.before, "little")
-                                      ^ int.from_bytes(entry.after, "little"))
-                                     .to_bytes(max(len(entry.before),
-                                                   len(entry.after)),
-                                               "little")))
-            for entry in journal.entries
-            if max(len(entry.before), len(entry.after))
-        ]
-        if frame_list:
-            self._append(frame_list)
-        return len(frame_list)
+        with span_if_active("store.append_journal", volume=volume):
+            frame_list = [
+                fr.Frame(fr.KIND_DELTA, self._take_seq(), volume,
+                         fr.encode_delta(
+                             image_len, entry.offset,
+                             (int.from_bytes(entry.before, "little")
+                              ^ int.from_bytes(entry.after, "little"))
+                             .to_bytes(max(len(entry.before),
+                                           len(entry.after)),
+                                       "little")))
+                for entry in journal.entries
+                if max(len(entry.before), len(entry.after))
+            ]
+            if frame_list:
+                self._append(frame_list)
+            return len(frame_list)
 
     def truncate(self, volume: str, image_len: int) -> int:
         """Durably set a volume's length; returns the frame's offset."""
@@ -412,18 +416,20 @@ class PageStore:
 
     def checkpoint(self) -> Path:
         """Persist every volume's warm map + tree; returns the path."""
-        volumes = {}
-        for name, state in self._volumes.items():
-            volumes[name] = ckpt.VolumeCheckpoint(
-                state.page_bytes, len(state.replica.data),
-                state.replica.signature_map(),
-                state.replica.signature_tree(self.fanout),
-            )
-            self._warm_from_checkpoint.add(name)
-        snapshot = ckpt.Checkpoint(self._log.total_bytes, self._next_seq,
-                                   volumes)
-        self._frames_since_checkpoint = 0
-        return ckpt.save(self.directory, self.scheme, snapshot)
+        with span_if_active("store.checkpoint",
+                            volumes=str(len(self._volumes))):
+            volumes = {}
+            for name, state in self._volumes.items():
+                volumes[name] = ckpt.VolumeCheckpoint(
+                    state.page_bytes, len(state.replica.data),
+                    state.replica.signature_map(),
+                    state.replica.signature_tree(self.fanout),
+                )
+                self._warm_from_checkpoint.add(name)
+            snapshot = ckpt.Checkpoint(self._log.total_bytes, self._next_seq,
+                                       volumes)
+            self._frames_since_checkpoint = 0
+            return ckpt.save(self.directory, self.scheme, snapshot)
 
     # ------------------------------------------------------------------
     # Scrub (Proposition 5 localization)
@@ -438,37 +444,40 @@ class PageStore:
         materialized content, so the certified *expected* signatures of
         condemned pages survive only in the returned report.
         """
-        state = self._require(volume)
-        replica = state.replica
-        expected_map = replica.signature_map()
-        fanout = replica._tree.fanout if replica._tree is not None \
-            else self.fanout
-        expected_tree = replica.signature_tree(fanout)
-        actual_map = get_batch_signer(self.scheme).sign_map(
-            bytes(replica.data), replica.page_symbols
-        )
-        actual_tree = SignatureTree.from_map(actual_map, fanout)
-        if expected_tree.leaf_count == actual_tree.leaf_count:
-            diff = expected_tree.diff(actual_tree)
-            condemned = tuple(diff.changed_leaves)
-            compared = diff.nodes_compared
-        else:  # length drifted: fall back to the flat map comparison
-            condemned = tuple(expected_map.changed_pages(actual_map))
-            compared = max(len(expected_map), len(actual_map))
-        expected = {
-            index: expected_map.signatures[index]
-            for index in condemned if index < len(expected_map.signatures)
-        }
-        if condemned:
-            # Reset warm state to the materialized bytes: from here on
-            # folds track what *is*, the report records what *should be*.
-            replica._incremental = IncrementalSignatureMap(actual_map)
-            replica._tree = actual_tree
-            replica._tree_fanout = fanout
-        registry = get_registry()
-        registry.counter("store.scrubs", volume=volume).inc()
-        registry.counter("store.pages_condemned").inc(len(condemned))
-        return ScrubReport(volume, condemned, expected, compared)
+        with span_if_active("store.scrub", volume=volume) as span:
+            state = self._require(volume)
+            replica = state.replica
+            expected_map = replica.signature_map()
+            fanout = replica._tree.fanout if replica._tree is not None \
+                else self.fanout
+            expected_tree = replica.signature_tree(fanout)
+            actual_map = get_batch_signer(self.scheme).sign_map(
+                bytes(replica.data), replica.page_symbols
+            )
+            actual_tree = SignatureTree.from_map(actual_map, fanout)
+            if expected_tree.leaf_count == actual_tree.leaf_count:
+                diff = expected_tree.diff(actual_tree)
+                condemned = tuple(diff.changed_leaves)
+                compared = diff.nodes_compared
+            else:  # length drifted: fall back to the flat map comparison
+                condemned = tuple(expected_map.changed_pages(actual_map))
+                compared = max(len(expected_map), len(actual_map))
+            expected = {
+                index: expected_map.signatures[index]
+                for index in condemned if index < len(expected_map.signatures)
+            }
+            if condemned:
+                # Reset warm state to the materialized bytes: from here on
+                # folds track what *is*, the report records what *should be*.
+                replica._incremental = IncrementalSignatureMap(actual_map)
+                replica._tree = actual_tree
+                replica._tree_fanout = fanout
+            if span is not None:
+                span.event("condemned", pages=len(condemned))
+            registry = get_registry()
+            registry.counter("store.scrubs", volume=volume).inc()
+            registry.counter("store.pages_condemned").inc(len(condemned))
+            return ScrubReport(volume, condemned, expected, compared)
 
     # ------------------------------------------------------------------
     # Fault injection (tests, demos)

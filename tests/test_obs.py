@@ -119,7 +119,7 @@ class TestHistogram:
         hist = MetricsRegistry().histogram("sdds.op_seconds")
         assert hist.snapshot()["value"] == {
             "count": 0, "max": 0, "min": 0, "p50": 0, "p90": 0, "p99": 0,
-            "sum": 0,
+            "p999": 0, "stddev": 0, "sum": 0,
         }
 
     def test_summary_statistics(self):
