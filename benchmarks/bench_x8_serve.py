@@ -1,0 +1,76 @@
+"""X8 -- serving-plane saturation: goodput and tails vs offered load.
+
+Steps an open-loop Poisson arrival process past the plane's modelled
+capacity (buckets x service rate) while LH* buckets split under the
+live traffic.  The interesting shape: goodput climbs with offered load,
+plateaus at capacity instead of collapsing (admission control sheds the
+excess with explicit replies clients back off on), p99/p999 stay
+bounded by the deadline-shedding horizon, and the final bucket images
+still signature-verify against the execution oracle -- the paper's
+correctness guarantee is unchanged by the concurrency machinery.
+"""
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import LoadGenerator, LoadMix, ServingPlane
+
+RATES = (2000.0, 6000.0, 12000.0, 20000.0)
+OPS_PER_STEP = 1500
+SESSIONS = 600
+
+
+def run_sweep(seed: int = 7):
+    """Run the fixed sweep; returns the report document."""
+    with use_registry(MetricsRegistry()):
+        plane = ServingPlane(buckets=4, family="lh", seed=seed)
+        generator = LoadGenerator(
+            plane, LoadMix(sessions=SESSIONS, n_items=1000))
+        return generator.sweep(list(RATES), OPS_PER_STEP)
+
+
+def test_single_step_service(benchmark):
+    def one_step():
+        with use_registry(MetricsRegistry()):
+            plane = ServingPlane(buckets=4, family="lh", seed=3)
+            generator = LoadGenerator(
+                plane, LoadMix(sessions=SESSIONS, n_items=1000))
+            return generator.run_step(6000.0, OPS_PER_STEP)
+
+    step = benchmark.pedantic(one_step, rounds=3)
+    assert step["ops"] == OPS_PER_STEP
+    assert step["failed_timeout"] == 0
+
+
+def test_x8_report(benchmark, report_table):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report = run_sweep()
+    rows = []
+    for step in report["steps"]:
+        rows.append([
+            f"{step['offered_ops_per_s']:,.0f}",
+            f"{step['goodput_ops_per_s']:,.0f}",
+            f"{step['p50_ms']:.2f}",
+            f"{step['p99_ms']:.2f}",
+            f"{step['p999_ms']:.2f}",
+            sum(step["server_sheds"].values()),
+            step["coalesced"],
+            step["splits"],
+        ])
+    summary = report["summary"]
+    verify = report["verify"]
+    report_table(
+        "X8: serving-plane goodput and latency tails vs offered load",
+        ["offered/s", "goodput/s", "p50 ms", "p99 ms", "p999 ms",
+         "sheds", "coalesced", "splits"],
+        rows,
+        notes=f"{summary['sessions']} open-loop sessions; goodput "
+              f"plateaus at capacity (floor "
+              f"{summary['post_saturation_ratio']:.0%} of peak); "
+              f"{verify['buckets_verified']}/{verify['buckets']} final "
+              "bucket images signature-verified against the oracle",
+    )
+    assert summary["graceful"]
+    assert verify["ok"]
+    # Shape: the sweep actually crossed saturation -- the top offered
+    # rate exceeds what the plane could serve.
+    top = report["steps"][-1]
+    assert top["offered_ops_per_s"] > top["goodput_ops_per_s"]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Thousands of sessions push an LH* file past saturation -- safely.
+
+The serving plane's acceptance scenario: 800 concurrent non-blocking
+sessions offer an open-loop Poisson stream (70% reads on a shifting
+Zipf hotspot, the rest updates and fresh inserts) to four LH* buckets
+whose request services model 2000 ops/s each.  The sweep crosses the
+plane's capacity by 2.5x, and along the way:
+
+* buckets *split under the live traffic* -- queued requests for moved
+  keys are re-forwarded, clients learn corrected images from IAMs, and
+  no acknowledged operation is lost;
+* admission control sheds the excess with explicit ``SHED`` replies
+  (never silent drops), so goodput plateaus at capacity instead of
+  collapsing while p99 stays bounded;
+* same-key reads coalesce, collapsing the hot-key pile-up into single
+  bucket accesses;
+* at the end, every bucket image is re-rendered from the execution
+  oracle and compared by algebraic signature -- the paper's 4-byte
+  check certifies that high concurrency changed nothing about
+  correctness.
+
+Run:  python examples/serving_plane.py
+"""
+
+from repro.serve import LoadGenerator, LoadMix, ServingPlane
+
+RATES = [2500.0, 7000.0, 13000.0, 20000.0]
+OPS_PER_STEP = 1600
+SESSIONS = 800
+
+
+def main() -> None:
+    plane = ServingPlane(buckets=4, family="lh", seed=11)
+    generator = LoadGenerator(
+        plane, LoadMix(sessions=SESSIONS, n_items=1200))
+    print(f"{SESSIONS} open-loop sessions over 4 LH* buckets "
+          "(2000 ops/s each, 64-deep inboxes)")
+    print(f"{'offered/s':>10} {'goodput/s':>10} {'p50 ms':>8} "
+          f"{'p99 ms':>8} {'sheds':>6} {'coalesced':>10} {'buckets':>8}")
+    report = generator.sweep(RATES, OPS_PER_STEP)
+    for step in report["steps"]:
+        sheds = sum(step["server_sheds"].values())
+        print(f"{step['offered_ops_per_s']:>10,.0f} "
+              f"{step['goodput_ops_per_s']:>10,.1f} "
+              f"{step['p50_ms']:>8.3f} {step['p99_ms']:>8.3f} "
+              f"{sheds:>6d} {step['coalesced']:>10d} "
+              f"{step['buckets']:>8d}")
+    summary = report["summary"]
+    verify = report["verify"]
+    print()
+    print(f"peak goodput {summary['peak_goodput_ops_per_s']:,.0f} ops/s; "
+          f"post-saturation floor holds at "
+          f"{summary['post_saturation_ratio']:.0%} of peak "
+          f"(graceful={summary['graceful']})")
+    print(f"{summary['splits']} buckets split under live traffic "
+          f"({summary['buckets']} total); "
+          f"{verify['buckets_verified']}/{verify['buckets']} final images "
+          "signature-match the execution oracle")
+    print(f"acked operations lost: {len(verify['acked_lost'])} "
+          f"(of {verify['acked_keys']} acked)")
+    assert summary["graceful"] and verify["ok"]
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,13 @@ Commands:
                      mid-log bit rot and a torn tail write, then run
                      certified recovery and verify the condemned-page
                      report against the injected faults
+* ``serve [--json] [--seed N]`` -- run the high-concurrency serving
+                     plane under open-loop load: thousands of
+                     non-blocking sessions sweep offered load past
+                     saturation while LH* buckets split under the
+                     traffic; prints goodput and p50/p99/p999 per step
+                     plus the final signature verification; identical
+                     seeds yield byte-identical JSON
 * ``trace [--json] [--seed N]`` -- run a traced fault-injected cluster
                      scenario and print the cross-node telemetry: the
                      assembled per-operation trace trees, Chrome
@@ -466,6 +473,92 @@ def _trace(arguments: list[str]) -> int:
     return 0
 
 
+def _serve(arguments: list[str]) -> int:
+    """Run the open-loop serving-plane sweep; print its run report.
+
+    Four LH* buckets behind queued request services (2000 ops/s each,
+    64-deep inboxes) take 1200 concurrent sessions through an offered
+    load sweep that crosses saturation; buckets split under the live
+    traffic.  The report shows per-step goodput and latency tails, the
+    admission-control ledger, and the final algebraic-signature
+    verification of every bucket image against the execution oracle.
+    """
+    import json
+
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.serve import LoadGenerator, LoadMix, ServingPlane
+
+    as_json = "--json" in arguments
+    rest = [a for a in arguments if a != "--json"]
+    seed = 42
+    if rest and rest[0] == "--seed":
+        if len(rest) < 2:
+            print("usage: python -m repro serve [--json] [--seed N]",
+                  file=sys.stderr)
+            return 2
+        seed = int(rest[1])
+        rest = rest[2:]
+    if rest:
+        print("usage: python -m repro serve [--json] [--seed N]",
+              file=sys.stderr)
+        return 2
+    rates = [2000.0, 5000.0, 9000.0, 14000.0, 20000.0]
+    ops_per_step = 2400
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        plane = ServingPlane(buckets=4, family="lh", seed=seed)
+        generator = LoadGenerator(plane, LoadMix(sessions=1200,
+                                                 n_items=1400))
+        report = generator.sweep(rates, ops_per_step)
+        snapshot = registry.snapshot()
+    summary = report["summary"]
+    verify = report["verify"]
+    document = {
+        "schema": "repro.serve/run-report/v1",
+        "seed": seed,
+        "family": report["family"],
+        "config": {
+            "buckets": 4,
+            "rates_ops_per_s": rates,
+            "ops_per_step": ops_per_step,
+            "mix": report["mix"],
+        },
+        "steps": report["steps"],
+        "summary": summary,
+        "verify": verify,
+        "metrics": snapshot,
+    }
+    if as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if (verify["ok"] and summary["graceful"]) else 1
+    print(f"serving plane, seed {seed}: {summary['sessions']} sessions, "
+          f"LH* file grew {document['config']['buckets']} -> "
+          f"{summary['buckets']} buckets ({summary['splits']} live splits)")
+    print(f"{'offered/s':>10} {'goodput/s':>10} {'p50 ms':>8} "
+          f"{'p99 ms':>8} {'p999 ms':>9} {'sheds':>6} {'coalesced':>10}")
+    for step in report["steps"]:
+        sheds = sum(step["server_sheds"].values())
+        print(f"{step['offered_ops_per_s']:>10.0f} "
+              f"{step['goodput_ops_per_s']:>10.1f} "
+              f"{step['p50_ms']:>8.3f} {step['p99_ms']:>8.3f} "
+              f"{step['p999_ms']:>9.3f} {sheds:>6d} "
+              f"{step['coalesced']:>10d}")
+    print(f"  peak goodput:          "
+          f"{summary['peak_goodput_ops_per_s']:.1f} ops/s")
+    print(f"  post-saturation floor: "
+          f"{summary['post_saturation_min_goodput_ops_per_s']:.1f} ops/s "
+          f"({summary['post_saturation_ratio']:.0%} of peak, "
+          f"graceful={summary['graceful']})")
+    print(f"  sessions served:       {summary['sessions_served']} "
+          f"(max in flight {summary['max_inflight']})")
+    print(f"  verification:          {verify['buckets_verified']}/"
+          f"{verify['buckets']} bucket images signature-match the "
+          f"oracle; acked ops lost: {len(verify['acked_lost'])}")
+    if not (verify["ok"] and summary["graceful"]):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a CLI command; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -479,6 +572,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": lambda: _report(argv[1:]),
         "cluster": lambda: _cluster(argv[1:]),
         "store": lambda: _store(argv[1:]),
+        "serve": lambda: _serve(argv[1:]),
         "trace": lambda: _trace(argv[1:]),
     }
     if command not in handlers:

@@ -42,6 +42,16 @@ The ``obs`` block compares the observability plane's bounded
 deterministic latency stream: per-quantile relative error must stay
 under 5% with O(buckets) memory, or the harness fails.
 
+The ``serve`` block runs the high-concurrency serving plane's
+saturation sweep (:mod:`repro.serve`): thousands of open-loop sessions
+step offered load past the plane's capacity while LH* buckets split
+under the live traffic.  The harness fails unless goodput past
+saturation holds at >= 80% of its peak (admission control worked) and
+the final bucket images signature-verify against the execution oracle
+with no acked operation lost (the live splits were safe).  The block's
+numbers are simulated time, so they are deterministic and live in the
+document's stable region.
+
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
 byte-identical against ``scheme.sign`` before its timing is reported --
@@ -67,7 +77,7 @@ from .sig import (BatchSigner, ChunkedSigner, IncrementalSignatureMap,
 from .store import PageStore
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v4"
+SCHEMA = "repro.bench/batch-engine/v5"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
@@ -95,6 +105,20 @@ STORE_PATHS = ("full_rescan", "checkpoint_fold", "checkpoint_fold_tail")
 #: relative error of the exact one.
 OBS_QUANTILES = (50.0, 90.0, 99.0, 99.9)
 OBS_MAX_RELATIVE_ERROR = 0.05
+
+#: Serving-plane saturation sweep: offered-load steps (ops/s) and the
+#: open-loop population.  The full sweep crosses the plane's ~10k
+#: ops/s capacity by nearly 3x; the quick sweep jumps straight from
+#: below to above saturation.
+SERVE_RATES = (2000.0, 4000.0, 7000.0, 10000.0, 14000.0, 20000.0,
+               28000.0)
+SERVE_RATES_QUICK = (3000.0, 9000.0, 18000.0)
+SERVE_SESSIONS = 2000
+SERVE_SESSIONS_QUICK = 1024
+SERVE_OPS_PER_STEP = 4000
+SERVE_OPS_PER_STEP_QUICK = 2048
+#: Goodput past saturation must hold at this fraction of peak.
+SERVE_MIN_POST_SATURATION = 0.8
 
 
 class BenchError(ReproError):
@@ -405,6 +429,59 @@ def _bench_obs(samples: int, repeats: int) -> dict:
     }
 
 
+def _bench_serve(quick: bool) -> dict:
+    """Run the serving plane's saturation sweep and enforce its story.
+
+    Raises :class:`BenchError` if goodput collapses past saturation
+    (admission control failed), if any final bucket image fails the
+    algebraic-signature verification against the execution oracle, or
+    if any acknowledged operation was lost across the live splits.
+    """
+    from .obs import MetricsRegistry, use_registry
+    from .serve import LoadGenerator, LoadMix, ServingPlane
+
+    rates = list(SERVE_RATES_QUICK if quick else SERVE_RATES)
+    sessions = SERVE_SESSIONS_QUICK if quick else SERVE_SESSIONS
+    ops_per_step = SERVE_OPS_PER_STEP_QUICK if quick \
+        else SERVE_OPS_PER_STEP
+    with use_registry(MetricsRegistry()):
+        plane = ServingPlane(buckets=4, family="lh", seed=SEED)
+        generator = LoadGenerator(
+            plane, LoadMix(sessions=sessions, n_items=1400))
+        report = generator.sweep(rates, ops_per_step)
+    summary = report["summary"]
+    verify = report["verify"]
+    if not verify["ok"]:
+        raise BenchError(
+            f"serving plane failed verification: "
+            f"{len(verify['mismatched'])} bucket images mismatched, "
+            f"{len(verify['acked_lost'])} acked operations lost")
+    if summary["post_saturation_ratio"] < SERVE_MIN_POST_SATURATION:
+        raise BenchError(
+            f"goodput collapsed past saturation: floor is "
+            f"{summary['post_saturation_ratio']:.0%} of peak "
+            f"(bound {SERVE_MIN_POST_SATURATION:.0%})")
+    return {
+        "sessions": sessions,
+        "rates_ops_per_s": rates,
+        "ops_per_step": ops_per_step,
+        "family": report["family"],
+        "steps": report["steps"],
+        "summary": summary,
+        "verify": {
+            "ok": verify["ok"],
+            "buckets": verify["buckets"],
+            "buckets_verified": verify["buckets_verified"],
+            "placement_ok": verify["placement_ok"],
+            "records": verify["records"],
+            "acked_keys": verify["acked_keys"],
+            "acked_surviving": verify["acked_surviving"],
+            "acked_lost": len(verify["acked_lost"]),
+            "splits": verify["splits"],
+        },
+    }
+
+
 def run(quick: bool = False, workers: int = WORKERS) -> dict:
     """Run the harness; returns the JSON-able benchmark document."""
     page_count = 8 if quick else 48
@@ -441,6 +518,15 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
                 "quantiles": list(OBS_QUANTILES),
                 "max_relative_error": OBS_MAX_RELATIVE_ERROR,
             },
+            "serve": {
+                "sessions": SERVE_SESSIONS_QUICK if quick
+                else SERVE_SESSIONS,
+                "rates_ops_per_s": list(SERVE_RATES_QUICK if quick
+                                        else SERVE_RATES),
+                "ops_per_step": SERVE_OPS_PER_STEP_QUICK if quick
+                else SERVE_OPS_PER_STEP,
+                "min_post_saturation": SERVE_MIN_POST_SATURATION,
+            },
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)
@@ -448,6 +534,7 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
         ],
         "store": _bench_store(store_pages, repeats),
         "obs": _bench_obs(obs_samples, repeats),
+        "serve": _bench_serve(quick),
         "verified": True,   # every path checked against scheme.sign above
     }
     return document

@@ -16,7 +16,7 @@ from .events import EventError, EventLoop, Timer
 from .faults import Crash, FaultPlan, LinkFaults, Partition
 from .network import FaultyNetwork
 from .node import ClusterNode, NodeState, deserialize_bucket, serialize_bucket
-from .retry import RetryExhaustedError, RetryPolicy
+from .retry import OpBudget, RetryExhaustedError, RetryPolicy
 from .runtime import Cluster, ClusterClient, ClusterError, ClusterResult
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "FaultPlan",
     "FaultyNetwork",
     "RetryPolicy",
+    "OpBudget",
     "RetryExhaustedError",
     "ClusterNode",
     "NodeState",

@@ -93,7 +93,8 @@ class ClusterNode:
     """One server node of the fault-injected cluster."""
 
     def __init__(self, index: int, cluster, scheme: AlgebraicSignatureScheme,
-                 page_bytes: int, capacity_records: int = 1 << 20):
+                 page_bytes: int, capacity_records: int = 1 << 20,
+                 policy: "ServicePolicy | None" = None):
         self.index = index
         self.cluster = cluster
         self.scheme = scheme
@@ -103,12 +104,24 @@ class ClusterNode:
         self.server = SDDSServer(index, scheme,
                                  capacity_records=capacity_records,
                                  store_signatures=True)
+        #: Request admission and queueing (PR 7).  The default policy
+        #: is *inline* -- synchronous execution at delivery, the
+        #: original node semantics -- while a queued policy turns this
+        #: node into a modelled single-CPU server with a bounded inbox
+        #: that sheds overload with explicit ``SHED`` replies.
+        self.policy = policy if policy is not None else ServicePolicy()
+        self.service = RequestService(self.name, cluster.loop, self.policy,
+                                      execute=self._service_execute,
+                                      shed=self._service_shed)
         self.image = Replica(f"{self.name}.image", scheme,
                              serialize_bucket(self.server), page_bytes)
         #: Hosted copy of the previous node's bucket image.
         self.mirror: Replica | None = None
         #: request_id -> sealed reply bytes (at-least-once replay).
         self._reply_cache: dict[int, bytes] = {}
+        #: request ids queued or executing (duplicate suppression for
+        #: queued policies; always empty between events when inline).
+        self._inflight: set[int] = set()
         #: Durable backend (PR 5): when attached, every image extent is
         #: also appended to a sealed local log that survives crashes.
         self.store: PageStore | None = None
@@ -178,69 +191,97 @@ class ClusterNode:
         op, request_id, key, value = wire.decode_request(inner)
         op_name = wire.OP_NAMES[op]
         cached = self._reply_cache.get(request_id)
-        if cached is None:
-            with self._traced(f"node.handle.{op_name}", context,
-                              key=str(key)) as span:
-                status, reply_value = self._execute(op, key, value)
-                if span is not None:
-                    span.event("executed", status=wire.ST_NAMES[status])
-            reply_context = None if span is None else span.context
-            reply = wire.encode_traced(
-                reply_context, wire.encode_reply(status, request_id,
-                                                 reply_value)
-            )
-            cached = wire.seal(self.scheme, reply)
-            self._reply_cache[request_id] = cached
-        else:
+        if cached is not None:
             registry.counter("cluster.rpc_replays", node=self.name).inc()
             with self._traced(f"node.replay.{op_name}", context,
                               key=str(key)):
                 pass
+            self._transmit_reply(request_id, cached)
+            return
+        if request_id in self._inflight:
+            # Only possible under a queued policy: a retransmit raced
+            # the queue.  The queued copy will answer; re-queueing the
+            # duplicate would amplify the backlog the retry is fleeing.
+            registry.counter("cluster.rpc_inflight_dups",
+                             node=self.name).inc()
+            return
+        request = ServeRequest(op, key, value,
+                               read=(op == wire.OP_SEARCH),
+                               meta=(context, request_id))
+        self._inflight.add(request_id)
+        self.service.offer(request)
+
+    def _service_execute(self, request: "ServeRequest") -> None:
+        """Service completion callback: execute, reply, cache, answer."""
+        context, request_id = request.meta
+        if not self.is_up:
+            # A queued request completing after a crash: the volatile
+            # state it targeted is gone; drop like any in-flight frame.
+            get_registry().counter("cluster.down_drops",
+                                   node=self.name).inc()
+            for member in (request, *request.riders):
+                self._inflight.discard(member.meta[1])
+            return
+        op, key = request.op, request.key
+        op_name = wire.OP_NAMES[op]
+        with self._traced(f"node.handle.{op_name}", context,
+                          key=str(key)) as span:
+            status, reply_value = self._execute(op, key, request.value)
+            if span is not None:
+                span.event("executed", status=wire.ST_NAMES[status])
+        reply_context = None if span is None else span.context
+        for member in (request, *request.riders):
+            _member_context, member_id = member.meta
+            self._inflight.discard(member_id)
+            reply = wire.encode_traced(
+                reply_context, wire.encode_reply(status, member_id,
+                                                 reply_value)
+            )
+            cached = wire.seal(self.scheme, reply)
+            self._reply_cache[member_id] = cached
+            self._transmit_reply(member_id, cached)
+
+    def _service_shed(self, request: "ServeRequest", reason: str) -> None:
+        """Admission refused: explicit SHED reply, never cached."""
+        _context, request_id = request.meta
+        self._inflight.discard(request_id)
+        get_registry().counter("cluster.sheds", node=self.name,
+                               reason=reason).inc()
+        reply = wire.encode_traced(
+            None, wire.encode_reply(wire.ST_SHED, request_id))
+        self._transmit_reply(request_id, wire.seal(self.scheme, reply))
+
+    def _transmit_reply(self, request_id: int, sealed: bytes) -> None:
         client = self.cluster.client_for_request(request_id)
+        recorder = self.cluster.recorder_for(self.name)
         if recorder is not None:
-            recorder.record_frame("send", "reply", client.name, cached)
+            recorder.record_frame("send", "reply", client.name, sealed)
         self.cluster.faulty_network.transmit(
-            self.name, client.name, REPLY_KIND, cached, client.receive_reply
+            self.name, client.name, REPLY_KIND, sealed, client.receive_reply
         )
 
     def _execute(self, op: int, key: int, value: bytes) -> tuple[int, bytes]:
         """Apply one operation to bucket + parity; returns (status, value)."""
         if op == wire.OP_SEARCH:
-            record = self.server.search(key)
-            if record is None:
-                return wire.ST_MISSING, b""
-            return wire.ST_FOUND, record.value
+            status, reply_value, _effect = apply_operation(
+                self.server, self.scheme, op, key, value)
+            return status, reply_value
         before = self.image_bytes()
-        if op == wire.OP_INSERT:
-            ok = self.server.insert(Record(key, value))
-            if not ok:
-                return wire.ST_DUPLICATE, b""
+        status, reply_value, effect = apply_operation(
+            self.server, self.scheme, op, key, value)
+        if effect == EFFECT_PSEUDO:
+            get_registry().counter("cluster.pseudo_updates").inc()
+            return status, reply_value
+        if effect == EFFECT_NONE:
+            return status, reply_value
+        if effect == EFFECT_INSERT:
             self.cluster.parity.insert(key, value)
-            status: tuple[int, bytes] = (wire.ST_INSERTED, b"")
-        elif op == wire.OP_UPDATE:
-            current = self.server.search(key)
-            if current is None:
-                return wire.ST_MISSING, b""
-            # Pseudo-update filtering at the server (Section 2.2's
-            # economics): identical signatures mean nothing to write,
-            # no parity delta, no mirror traffic.
-            if self.scheme.sign(current.value, strict=False) == \
-                    self.scheme.sign(value, strict=False):
-                get_registry().counter("cluster.pseudo_updates").inc()
-                return wire.ST_APPLIED, b""
-            self.server.bucket.update(key, value)
+        elif effect == EFFECT_UPDATE:
             self.cluster.parity.update(key, value)
-            status = (wire.ST_APPLIED, b"")
-        elif op == wire.OP_DELETE:
-            record = self.server.delete(key)
-            if record is None:
-                return wire.ST_MISSING, b""
-            self.cluster.parity.delete(key)
-            status = (wire.ST_DELETED, b"")
         else:
-            raise wire.WireError(f"unroutable operation {op}")
+            self.cluster.parity.delete(key)
         self.refresh_image(send_mirror_updates=True, previous=before)
-        return status
+        return status, reply_value
 
     # ------------------------------------------------------------------
     # Bucket image and mirror shipping
@@ -414,6 +455,11 @@ class ClusterNode:
                              serialize_bucket(self.server), self.page_bytes)
         self.mirror = None
         self._reply_cache.clear()
+        self._inflight.clear()
+        self.service = RequestService(self.name, self.cluster.loop,
+                                      self.policy,
+                                      execute=self._service_execute,
+                                      shed=self._service_shed)
         if self.store is not None:
             self.store.close()
             self.store = None
@@ -423,3 +469,18 @@ class ClusterNode:
         for record in records:
             self.server.insert(record)
         self.refresh_image()
+
+
+# Imported last, deliberately: the serve package builds on cluster
+# primitives (wire, events) while the node builds on serve's service
+# abstraction.  Everything node.py needs from serve is defined before
+# serve imports anything from this module, so the bottom import breaks
+# the cycle in both import directions.
+from ..serve.ops import (  # noqa: E402
+    EFFECT_INSERT,
+    EFFECT_NONE,
+    EFFECT_PSEUDO,
+    EFFECT_UPDATE,
+    apply_operation,
+)
+from ..serve.service import RequestService, ServeRequest, ServicePolicy  # noqa: E402

@@ -106,10 +106,15 @@ class Cluster:
                  page_bytes: int = 128,
                  header_bytes: int = 16,
                  durable_dir: str | Path | None = None,
-                 durable_checkpoint_every: int | None = 64):
+                 durable_checkpoint_every: int | None = 64,
+                 service: "ServicePolicy | None" = None):
         if servers < 2:
             raise ClusterError("a cluster needs at least 2 server nodes")
         self.seed = seed
+        #: Per-node request-service policy (PR 7).  ``None`` keeps the
+        #: original inline semantics; a queued policy gives every node
+        #: a bounded inbox with deadline/queue-depth load shedding.
+        self.service = service
         self.scheme = scheme if scheme is not None else make_scheme()
         self.plan = plan if plan is not None else FaultPlan()
         self.retry = retry if retry is not None else RetryPolicy()
@@ -133,7 +138,8 @@ class Cluster:
                                 parity_buckets=parity_buckets,
                                 record_bytes=record_bytes)
         self.nodes = [
-            ClusterNode(index, self, self.scheme, page_bytes)
+            ClusterNode(index, self, self.scheme, page_bytes,
+                        policy=service)
             for index in range(servers)
         ]
         for node in self.nodes:
@@ -564,7 +570,19 @@ class ClusterClient:
                     root.context,
                     wire.encode_request(op, request_id, key, value),
                 ))
-                for attempt in range(policy.max_attempts):
+                budget = policy.begin(loop.clock.now)
+                while True:
+                    if not budget.allow(loop.clock.now):
+                        # Budget or operation deadline exhausted -- the
+                        # retry loop may not add pressure past either.
+                        registry.counter("cluster.ops", op=op_name,
+                                         status="gave_up").inc()
+                        root.finish("gave_up")
+                        raise RetryExhaustedError(
+                            f"{op_name}({key}) failed after "
+                            f"{budget.spent} attempts"
+                        )
+                    attempt = budget.spend()
                     if attempt:
                         registry.counter("cluster.retries",
                                          op=op_name).inc()
@@ -576,27 +594,31 @@ class ClusterClient:
                         self.name, node.name, REQUEST_KINDS[op], sealed,
                         node.receive_request,
                     )
-                    deadline = loop.clock.now + policy.timeout_for(
-                        attempt, self._rng
+                    deadline = loop.clock.now + budget.attempt_timeout(
+                        attempt, self._rng, loop.clock.now
                     )
                     if loop.run_until(
                             deadline,
                             stop=lambda: request_id in self._replies):
-                        break
+                        if self._replies[request_id][0] != wire.ST_SHED:
+                            break
+                        # An overloaded node refused admission.  Back
+                        # off along the timeout ladder (spending the
+                        # budget) before offering the request again.
+                        self._replies.pop(request_id)
+                        registry.counter("cluster.shed_replies",
+                                         op=op_name).inc()
+                        root.event("shed", attempt=attempt + 1)
+                        loop.run_until(loop.clock.now
+                                       + policy.timeout_for(attempt,
+                                                            self._rng))
+                        continue
                     registry.counter("cluster.timeouts", op=op_name).inc()
-                else:
-                    registry.counter("cluster.ops", op=op_name,
-                                     status="gave_up").inc()
-                    root.finish("gave_up")
-                    raise RetryExhaustedError(
-                        f"{op_name}({key}) failed after "
-                        f"{policy.max_attempts} attempts"
-                    )
         finally:
             self._pending.discard(request_id)
         status_code, reply_value = self._replies.pop(request_id)
         status = wire.ST_NAMES[status_code]
-        attempts = attempt + 1
+        attempts = budget.spent
         elapsed = loop.clock.now - started
         registry.counter("cluster.ops", op=op_name, status=status).inc()
         registry.histogram("cluster.op_seconds", op=op_name).observe(elapsed)

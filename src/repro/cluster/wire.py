@@ -54,10 +54,14 @@ ST_FOUND = 3
 ST_MISSING = 4
 ST_APPLIED = 5
 ST_DELETED = 6
+#: Overload rejection (PR 7): the node refused admission; the client
+#: must back off and retry within its budget -- never treat as done.
+ST_SHED = 7
 
 ST_NAMES = {ST_INSERTED: "inserted", ST_DUPLICATE: "duplicate",
             ST_FOUND: "found", ST_MISSING: "missing",
-            ST_APPLIED: "applied", ST_DELETED: "deleted"}
+            ST_APPLIED: "applied", ST_DELETED: "deleted",
+            ST_SHED: "shed"}
 
 _REQUEST = struct.Struct("<BQII")
 _REPLY = struct.Struct("<BQI")

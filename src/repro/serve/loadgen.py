@@ -1,0 +1,203 @@
+"""Open-loop load generation and the saturation sweep.
+
+The generator precomputes, per offered-load step, a Poisson arrival
+schedule (:func:`~repro.workloads.access.poisson_arrivals`) and a
+shifting-hotspot Zipf key sequence, assigns each arrival round-robin
+to one of thousands of sessions, and schedules every submission as an
+event -- *open loop*: arrivals keep coming at the offered rate no
+matter how slowly the plane answers, which is the only discipline that
+can reveal queueing collapse (a closed loop self-throttles and hides
+it).
+
+A sweep runs steps of increasing offered load on one live plane --
+records inserted in step k stay for step k+1, buckets split under the
+traffic -- and reports, per step, goodput and p50/p99/p999 latency
+(from a per-step bucketed histogram, so memory stays bounded at any
+rate), plus shed/timeout/retry accounting.  The summary pins the
+paper's scalability story to numbers: goodput past the saturation
+point must hold near its peak because admission control sheds the
+excess instead of queueing it to death.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..cluster import wire as cwire
+from ..errors import ReproError
+from ..workloads.access import poisson_arrivals, shifting_hotspot_indices
+from .plane import ServingPlane, key_for
+
+
+@dataclass(frozen=True, slots=True)
+class LoadMix:
+    """Operation mix and key-population knobs for the generator."""
+
+    sessions: int = 1200        #: concurrent client sessions
+    n_items: int = 1400         #: preloaded key universe (Zipf ranks)
+    value_bytes: int = 64       #: record payload size
+    skew: float = 0.9           #: Zipf exponent over the rank space
+    hotspot_period: int = 500   #: draws between hot-set rotations
+    read_fraction: float = 0.70
+    update_fraction: float = 0.20
+    insert_fraction: float = 0.08  #: fresh-key inserts (grow the file)
+    pseudo_fraction: float = 0.25  #: share of updates that change nothing
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1 or self.n_items < 1:
+            raise ReproError("need at least one session and one item")
+        total = self.read_fraction + self.update_fraction \
+            + self.insert_fraction
+        if not 0.0 < total <= 1.0 + 1e-9:
+            raise ReproError("operation fractions must sum to at most 1")
+
+
+class LoadGenerator:
+    """Drives one :class:`ServingPlane` with open-loop stepped load."""
+
+    def __init__(self, plane: ServingPlane, mix: LoadMix | None = None):
+        self.plane = plane
+        self.mix = mix if mix is not None else LoadMix()
+        self.rng = np.random.default_rng(0x5E12E + plane.seed)
+        plane.preload(self.mix.n_items, self.mix.value_bytes)
+        self.sessions = [plane.session()
+                         for _ in range(self.mix.sessions)]
+        self._fresh_cursor = self.mix.n_items
+        self._op_serial = 0
+
+    # ------------------------------------------------------------------
+    # One offered-load step
+    # ------------------------------------------------------------------
+
+    def _plan_operation(self, index: int, choice: float,
+                        pseudo: float) -> tuple[int, int, bytes]:
+        """(op, key, value) for one arrival, from pre-drawn randomness."""
+        mix = self.mix
+        plane = self.plane
+        self._op_serial += 1
+        if choice < mix.read_fraction:
+            return cwire.OP_SEARCH, key_for(index), b""
+        if choice < mix.read_fraction + mix.update_fraction:
+            key = key_for(index)
+            if pseudo < mix.pseudo_fraction:
+                # Rewrite the preload value: signature-equal at the
+                # bucket, so the server filters it as a pseudo-update.
+                version = 0
+            else:
+                version = self._op_serial
+            return (cwire.OP_UPDATE, key,
+                    plane._value_for(key, version, mix.value_bytes))
+        key = key_for(self._fresh_cursor)
+        self._fresh_cursor += 1
+        return (cwire.OP_INSERT, key,
+                plane._value_for(key, 1, mix.value_bytes))
+
+    def run_step(self, offered: float, ops: int) -> dict:
+        """Offer ``ops`` arrivals at ``offered``/s; drain; report."""
+        if offered <= 0 or ops < 1:
+            raise ReproError("need a positive rate and at least one op")
+        plane = self.plane
+        mix = self.mix
+        plane.begin_step(f"{offered:g}ops")
+        start = plane.clock.now
+        arrivals = poisson_arrivals(offered, ops, self.rng, start=start)
+        indices = shifting_hotspot_indices(mix.n_items, ops, mix.skew,
+                                           self.rng,
+                                           period=mix.hotspot_period)
+        choices = self.rng.random(ops)
+        pseudos = self.rng.random(ops)
+        sheds_before = self._server_sheds()
+        coalesced_before = sum(node.service.coalesced
+                               for node in plane.nodes)
+        splits_before = plane.splits
+        for position in range(ops):
+            op, key, value = self._plan_operation(
+                int(indices[position]), float(choices[position]),
+                float(pseudos[position]))
+            session = self.sessions[position % len(self.sessions)]
+            plane.loop.at(
+                float(arrivals[position]),
+                lambda s=session, o=op, k=key, v=value: s.submit(o, k, v),
+            )
+        plane.settle()
+        stats = plane.stats
+        if stats.resolved != ops:
+            raise ReproError(
+                f"step lost operations: {stats.resolved} of {ops} resolved")
+        # Goodput's span runs from the first arrival to the last
+        # resolution: a step whose queue drains long after the offered
+        # burst gets charged for the drain.
+        span = max(float(arrivals[-1]), stats.last_resolved) - start
+        hist = stats.hist
+        sheds_after = self._server_sheds()
+        return {
+            "offered_ops_per_s": round(offered, 3),
+            "ops": ops,
+            "ok": stats.ok,
+            "not_ok": stats.not_ok,
+            "failed_timeout": stats.failures["timeout"],
+            "failed_shed": stats.failures["shed"],
+            "attempts": stats.attempts,
+            "goodput_ops_per_s": round(stats.ok / span, 3),
+            "p50_ms": round(hist.percentile(50) * 1e3, 4),
+            "p99_ms": round(hist.percentile(99) * 1e3, 4),
+            "p999_ms": round(hist.percentile(99.9) * 1e3, 4),
+            "server_sheds": {
+                reason: sheds_after[reason] - sheds_before[reason]
+                for reason in sheds_after
+            },
+            "coalesced": (sum(node.service.coalesced
+                              for node in plane.nodes)
+                          - coalesced_before),
+            "sessions_served": len(stats.sessions),
+            "splits": plane.splits - splits_before,
+            "buckets": len(plane.nodes),
+            "max_inflight": plane.max_inflight,
+        }
+
+    def _server_sheds(self) -> dict[str, int]:
+        totals = {"queue": 0, "deadline": 0}
+        for node in self.plane.nodes:
+            for reason, count in node.service.sheds.items():
+                totals[reason] += count
+        return totals
+
+    # ------------------------------------------------------------------
+    # The sweep
+    # ------------------------------------------------------------------
+
+    def sweep(self, rates: list[float], ops_per_step: int) -> dict:
+        """Run ascending offered-load steps; summarize saturation."""
+        steps = [self.run_step(rate, ops_per_step) for rate in rates]
+        goodputs = [step["goodput_ops_per_s"] for step in steps]
+        peak_index = max(range(len(goodputs)), key=goodputs.__getitem__)
+        peak = goodputs[peak_index]
+        post = goodputs[peak_index:]
+        floor = min(post)
+        verify = None
+        summary = {
+            "steps": len(steps),
+            "peak_goodput_ops_per_s": peak,
+            "peak_offered_ops_per_s": steps[peak_index][
+                "offered_ops_per_s"],
+            "post_saturation_min_goodput_ops_per_s": floor,
+            "post_saturation_ratio": round(floor / peak, 4) if peak else 0.0,
+            "graceful": bool(peak and floor >= 0.8 * peak),
+            "sessions": len(self.sessions),
+            "sessions_served": sum(1 for session in self.sessions
+                                   if session.served),
+            "max_inflight": self.plane.max_inflight,
+            "splits": self.plane.splits,
+            "buckets": len(self.plane.nodes),
+        }
+        self.plane.settle()
+        verify = self.plane.verify()
+        return {
+            "family": self.plane.family,
+            "mix": asdict(self.mix),
+            "steps": steps,
+            "summary": summary,
+            "verify": verify,
+        }

@@ -1,0 +1,92 @@
+"""Signature-sealed wire format for the serving plane.
+
+Serve frames reuse the cluster transport's sealing discipline --
+``body || sig(body)``, fixed little-endian layouts, corrupt frames
+detected and dropped -- but carry serving-specific fields the cluster
+RPC format deliberately lacks (the cluster format is pinned by the
+byte-identical golden traces; extending it would change every modeled
+transfer time):
+
+* request: ``op(1) || request_id(8) || key(4) || deadline(8, f64) ||``
+  ``value_len(4) || value`` -- the deadline is an *absolute* simulated
+  instant, propagated so a node can shed work that cannot complete in
+  time (a zero deadline means "none").
+* reply: ``status(1) || request_id(8) || bucket(4) || level(4) ||``
+  ``low(8) || high(8) || value_len(4) || value`` -- every reply names
+  the answering bucket and its range/level, so clients refine their
+  addressing image from ordinary traffic.
+* IAM: ``bucket(4) || level(4) || low(8) || high(8)`` -- the LH*/RP*
+  Image Adjustment Message, sent when a request arrived via forwarding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..cluster import wire as cwire
+from ..cluster.wire import WireError
+
+_SREQUEST = struct.Struct("<BQIdI")
+_SREPLY = struct.Struct("<BQIIQQI")
+_SIAM = struct.Struct("<IIQQ")
+
+#: Serve-plane message kinds (TrafficStats / net.* categories).
+REQUEST_KIND = "s_request"
+FORWARD_KIND = "s_forward"
+REPLY_KIND = "s_reply"
+IAM_KIND = "s_iam"
+SPLIT_KIND = "s_split_transfer"
+
+
+def encode_request(op: int, request_id: int, key: int, deadline: float,
+                   value: bytes = b"") -> bytes:
+    """Serialize one serve request body."""
+    if op not in cwire.OP_NAMES:
+        raise WireError(f"unknown operation code {op}")
+    if deadline < 0:
+        raise WireError("deadline cannot be negative")
+    return _SREQUEST.pack(op, request_id, key, deadline, len(value)) + value
+
+
+def decode_request(body: bytes) -> tuple[int, int, int, float, bytes]:
+    """Parse a serve request; returns (op, request_id, key, deadline, value)."""
+    if len(body) < _SREQUEST.size:
+        raise WireError("truncated serve request")
+    op, request_id, key, deadline, value_len = _SREQUEST.unpack_from(body)
+    value = body[_SREQUEST.size:]
+    if op not in cwire.OP_NAMES or len(value) != value_len or deadline < 0:
+        raise WireError("malformed serve request")
+    return op, request_id, key, deadline, value
+
+
+def encode_reply(status: int, request_id: int, bucket: int, level: int,
+                 low: int, high: int, value: bytes = b"") -> bytes:
+    """Serialize one serve reply body (with the answering bucket's view)."""
+    if status not in cwire.ST_NAMES:
+        raise WireError(f"unknown status code {status}")
+    return _SREPLY.pack(status, request_id, bucket, level, low, high,
+                        len(value)) + value
+
+
+def decode_reply(body: bytes) -> tuple[int, int, int, int, int, int, bytes]:
+    """Parse a serve reply."""
+    if len(body) < _SREPLY.size:
+        raise WireError("truncated serve reply")
+    status, request_id, bucket, level, low, high, value_len = \
+        _SREPLY.unpack_from(body)
+    value = body[_SREPLY.size:]
+    if status not in cwire.ST_NAMES or len(value) != value_len:
+        raise WireError("malformed serve reply")
+    return status, request_id, bucket, level, low, high, value
+
+
+def encode_iam(bucket: int, level: int, low: int, high: int) -> bytes:
+    """Serialize one Image Adjustment Message."""
+    return _SIAM.pack(bucket, level, low, high)
+
+
+def decode_iam(body: bytes) -> tuple[int, int, int, int]:
+    """Parse an IAM; returns (bucket, level, low, high)."""
+    if len(body) != _SIAM.size:
+        raise WireError("malformed IAM")
+    return _SIAM.unpack(body)

@@ -12,7 +12,14 @@ from .pages import (
 )
 from .updates import attribute_update, cut_and_paste, pseudo_update_mix, small_edit
 from .records import load_file, make_records
-from .access import Operation, hot_set_fraction, mixed_workload, zipf_indices
+from .access import (
+    Operation,
+    hot_set_fraction,
+    mixed_workload,
+    poisson_arrivals,
+    shifting_hotspot_indices,
+    zipf_indices,
+)
 
 __all__ = [
     "PAGE_KINDS",
@@ -29,6 +36,8 @@ __all__ = [
     "make_records",
     "load_file",
     "zipf_indices",
+    "shifting_hotspot_indices",
+    "poisson_arrivals",
     "mixed_workload",
     "Operation",
     "hot_set_fraction",

@@ -36,6 +36,47 @@ def zipf_indices(n_items: int, count: int, skew: float,
     return np.searchsorted(cdf, draws)
 
 
+def shifting_hotspot_indices(n_items: int, count: int, skew: float,
+                             rng: np.random.Generator,
+                             period: int = 1000,
+                             step: int | None = None) -> np.ndarray:
+    """Zipf-skewed indices whose hot set *migrates* over time.
+
+    Every ``period`` draws the rank-to-item mapping rotates by ``step``
+    items (default ``n_items // 10``), so the hottest records change as
+    the workload progresses -- the moving-hot-spot pattern that defeats
+    any cache or split layout tuned to a static skew.  ``skew = 0``
+    degenerates to uniform (the rotation is then invisible).
+    """
+    if period <= 0:
+        raise ReproError("period must be positive")
+    if step is None:
+        step = max(1, n_items // 10)
+    if step < 0:
+        raise ReproError("step cannot be negative")
+    ranks = zipf_indices(n_items, count, skew, rng)
+    shifts = (np.arange(count, dtype=np.int64) // period) * step
+    return (ranks + shifts) % n_items
+
+
+def poisson_arrivals(rate: float, count: int, rng: np.random.Generator,
+                     start: float = 0.0) -> np.ndarray:
+    """``count`` open-loop arrival instants at ``rate`` events/second.
+
+    A Poisson process on the simulated clock: inter-arrival gaps are
+    i.i.d. exponential with mean ``1/rate``, so arrivals keep coming at
+    the offered rate regardless of how slowly the system under test
+    answers -- the open-loop discipline that exposes queueing collapse
+    (a closed loop would self-throttle and hide it).
+    """
+    if rate <= 0:
+        raise ReproError("arrival rate must be positive")
+    if count < 0:
+        raise ReproError("arrival count cannot be negative")
+    gaps = rng.exponential(scale=1.0 / rate, size=count)
+    return start + np.cumsum(gaps)
+
+
 @dataclass(frozen=True, slots=True)
 class Operation:
     """One workload step."""

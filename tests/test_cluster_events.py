@@ -153,3 +153,44 @@ class TestDeterminism:
             return order
 
         assert run() == run()
+
+
+class TestFIFOFairness:
+    def test_thousands_of_same_deadline_timers_fire_in_fifo_order(self):
+        # The serving plane schedules bursts of arrivals and timeouts
+        # at identical instants; the (time, seq) tie-break must keep
+        # them strictly FIFO or sessions would be served unfairly.
+        loop = EventLoop()
+        fired = []
+        count = 5000
+        for tag in range(count):
+            loop.at(1.0, lambda tag=tag: fired.append(tag))
+        loop.run_until_idle()
+        assert fired == list(range(count))
+
+    def test_fifo_holds_across_interleaved_batches(self):
+        loop = EventLoop()
+        fired = []
+        # Two interleaved scheduling passes over the same two instants:
+        # within each instant, scheduling order is firing order.
+        for tag in range(0, 2000, 2):
+            loop.at(1.0, lambda tag=tag: fired.append(tag))
+            loop.at(2.0, lambda tag=-tag - 1: fired.append(tag))
+        for tag in range(1, 2000, 2):
+            loop.at(1.0, lambda tag=tag: fired.append(tag))
+        loop.run_until_idle()
+        at_one = [tag for tag in fired if tag >= 0]
+        at_two = [tag for tag in fired if tag < 0]
+        assert at_one == list(range(0, 2000, 2)) + list(range(1, 2000, 2))
+        assert at_two == [-tag - 1 for tag in range(0, 2000, 2)]
+
+    def test_cancellation_inside_a_tied_burst_preserves_order(self):
+        loop = EventLoop()
+        fired = []
+        timers = [loop.at(1.0, lambda tag=tag: fired.append(tag))
+                  for tag in range(1000)]
+        for timer in timers[::3]:
+            timer.cancel()
+        loop.run_until_idle()
+        expected = [tag for tag in range(1000) if tag % 3 != 0]
+        assert fired == expected

@@ -10,6 +10,8 @@ from repro.workloads import (
     hot_set_fraction,
     make_records,
     mixed_workload,
+    poisson_arrivals,
+    shifting_hotspot_indices,
     zipf_indices,
 )
 
@@ -121,3 +123,71 @@ class TestSkewedContentionStudy:
         _, uniform_conflicts, _ = self.run_contended(0.0)
         _, hot_conflicts, _ = self.run_contended(2.0)
         assert hot_conflicts > uniform_conflicts
+
+
+class TestPoissonArrivals:
+    def test_monotone_and_after_start(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(100.0, 5000, rng, start=2.0)
+        assert times.shape == (5000,)
+        assert times[0] > 2.0
+        assert np.all(np.diff(times) > 0)
+
+    def test_mean_gap_matches_rate(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrivals(250.0, 100_000, rng)
+        gaps = np.diff(times)
+        assert np.mean(gaps) == pytest.approx(1.0 / 250.0, rel=0.02)
+
+    def test_open_loop_rate_is_load_independent(self):
+        # The schedule is precomputed: the same rng yields the same
+        # arrivals no matter what the serving side does with them.
+        first = poisson_arrivals(50.0, 1000, np.random.default_rng(7))
+        second = poisson_arrivals(50.0, 1000, np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ReproError):
+            poisson_arrivals(0.0, 10, rng)
+        with pytest.raises(ReproError):
+            poisson_arrivals(10.0, -1, rng)
+        assert poisson_arrivals(10.0, 0, rng).shape == (0,)
+
+
+class TestShiftingHotspot:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        indices = shifting_hotspot_indices(80, 5000, 1.1, rng, period=500)
+        assert indices.min() >= 0
+        assert indices.max() < 80
+
+    def test_hot_set_rotates_between_periods(self):
+        rng = np.random.default_rng(2)
+        n_items, period = 1000, 2000
+        indices = shifting_hotspot_indices(n_items, 2 * period, 1.4, rng,
+                                           period=period)
+        first = indices[:period]
+        second = indices[period:]
+
+        def hot_set(window, top=10):
+            counts = np.bincount(window, minlength=n_items)
+            return set(np.argsort(counts)[-top:].tolist())
+
+        # The shift moves the head of the Zipf distribution: the two
+        # periods' hottest keys must be (mostly) disjoint.
+        assert len(hot_set(first) & hot_set(second)) <= 2
+
+    def test_shift_step_of_zero_keeps_hotspot_fixed(self):
+        rng = np.random.default_rng(3)
+        indices = shifting_hotspot_indices(100, 4000, 1.4, rng,
+                                           period=1000, step=0)
+        ranks = zipf_indices(100, 4000, 1.4, np.random.default_rng(3))
+        assert np.array_equal(indices, ranks)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ReproError):
+            shifting_hotspot_indices(10, 5, 1.0, rng, period=0)
+        with pytest.raises(ReproError):
+            shifting_hotspot_indices(10, 5, 1.0, rng, step=-1)
