@@ -72,7 +72,7 @@ class BackupEngine:
     def __init__(self, scheme: AlgebraicSignatureScheme, disk: SimDisk,
                  page_bytes: int = 16 * 1024, cpu: CpuModel | None = None,
                  use_tree: bool = False, tree_fanout: int = 16,
-                 workers: int | None = None):
+                 workers: int | None = None, backend: str = "thread"):
         symbol_bytes = scheme.scheme_id.symbol_bytes
         if page_bytes % symbol_bytes:
             raise BackupError(
@@ -91,10 +91,12 @@ class BackupEngine:
         self.use_tree = use_tree
         self.tree_fanout = tree_fanout
         #: All page signing goes through one batch signer; ``workers``
-        #: chunks large scans by page ranges onto a thread pool
+        #: chunks large scans by page ranges onto a thread pool, or --
+        #: with ``backend="process"`` -- a shared-memory process pool
         #: (multi-bucket backup passes sign buckets per batch call).
         self.workers = workers
-        self._signer = BatchSigner(scheme, workers=workers)
+        self.backend = backend
+        self._signer = BatchSigner(scheme, workers=workers, backend=backend)
         self._maps: dict[str, SignatureMap] = {}
         self._trees: dict[str, SignatureTree] = {}
 
@@ -322,7 +324,7 @@ class BackupEngine:
         index_stream = b"".join(bucket.index_pages(index_page_bytes))
         index_engine = BackupEngine(
             self.scheme, self.disk, page_bytes=index_page_bytes, cpu=self.cpu,
-            workers=self.workers,
+            workers=self.workers, backend=self.backend,
         )
         index_engine._maps = self._maps  # share map storage across granularities
         index_report = index_engine.backup(f"{volume}.index", index_stream)

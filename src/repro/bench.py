@@ -52,6 +52,30 @@ with no acked operation lost (the live splits were safe).  The block's
 numbers are simulated time, so they are deterministic and live in the
 document's stable region.
 
+The ``copies`` block (schema v6) is the zero-copy plane's accounting
+sweep: the sign -> delta-fold -> seal pipeline is run twice per field,
+once with the **legacy shapes** (per-page ``int64`` widenings, per-row
+matrix packing, ``b"".join`` body and delta materializations --
+reimplemented inline with every materialization charged explicitly)
+and once through the **arena path** (the engine's narrow lanes, charged
+by the live :data:`~repro.sig.arena.LEDGER`).  Both runs are verified
+byte-identical before their ledgers are compared, and the harness
+fails unless the arena path moves at least
+:data:`COPIES_MIN_REDUCTION` times fewer bytes per payload byte.
+Copies-per-byte is deterministic (it counts bytes, not seconds), so
+the whole block lives in the stable region CI compares across runs.
+
+The ``cores`` block sweeps the batch engine's worker axis: 1/2/4/N
+workers (N = ``os.cpu_count()``) under both the in-process thread
+backend and the shared-memory **process backend**
+(``BatchSigner(backend="process")`` -- workers map the page arena by
+name and sign row blocks with zero page serialization).  Every swept
+configuration is exactness-verified before timing.  On hosts with at
+least :data:`CORES_TARGET_MIN_CPUS` cores the harness additionally
+enforces the process backend at >= :data:`CORES_MIN_PROCESS_SPEEDUP` x
+the single-worker throughput; below that the speedup is recorded but
+not enforced (``target_enforced`` says which happened).
+
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
 byte-identical against ``scheme.sign`` before its timing is reported --
@@ -65,6 +89,7 @@ Timings live under ``results`` and naturally vary run to run.
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -72,12 +97,15 @@ from pathlib import Path
 import numpy as np
 
 from .errors import ReproError
-from .sig import (BatchSigner, ChunkedSigner, IncrementalSignatureMap,
-                  JournalEntry, SignatureMap, make_scheme)
+from .gf.vectorized import batch_signature_matrix, delta_signature_matrix
+from .sig import (LEDGER, BatchSigner, ChunkedSigner,
+                  IncrementalSignatureMap, JournalEntry, SignatureMap,
+                  make_scheme, resolve_workers)
+from .sig.signature import Signature
 from .store import PageStore
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v5"
+SCHEMA = "repro.bench/batch-engine/v6"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
@@ -119,6 +147,21 @@ SERVE_OPS_PER_STEP = 4000
 SERVE_OPS_PER_STEP_QUICK = 2048
 #: Goodput past saturation must hold at this fraction of peak.
 SERVE_MIN_POST_SATURATION = 0.8
+
+#: Copies-per-byte sweep: the arena path must move at least this many
+#: times fewer bytes per payload byte than the legacy shapes.
+COPIES_MIN_REDUCTION = 3.0
+#: Delta regions and sealed bodies folded into the copies pipeline.
+COPIES_REGIONS = 32
+COPIES_BODY_HEADER = b"frame-header-17b!"
+
+#: Cores sweep: the process backend must reach this multiple of the
+#: single-worker batch throughput -- enforced only on hosts with at
+#: least ``CORES_TARGET_MIN_CPUS`` cores (parallel signing cannot be
+#: demonstrated on a single-core container; the ratio is still
+#: recorded there).
+CORES_MIN_PROCESS_SPEEDUP = 2.0
+CORES_TARGET_MIN_CPUS = 4
 
 
 class BenchError(ReproError):
@@ -482,6 +525,192 @@ def _bench_serve(quick: bool) -> dict:
     }
 
 
+def _legacy_batch_sign(scheme, pages: list[bytes]) -> list[Signature]:
+    """The pre-arena batch pipeline, every materialization charged.
+
+    This is the shape ``BatchSigner.sign_many`` had before the arena:
+    one ``int64`` widening per page (8 bytes moved per payload byte
+    under GF(2^8), 4 under GF(2^16)), a twisted-map gather where the
+    scheme has one, and a per-row Python loop packing the padded page
+    matrix.  The charges are explicit because the legacy shapes no
+    longer exist in the engine to instrument.
+    """
+    rows = []
+    for page in pages:
+        symbols = scheme.to_symbols(page)
+        LEDGER.count(symbols.nbytes)          # int64 widening
+        mapped = scheme.map_symbols(symbols)
+        if mapped is not symbols:
+            LEDGER.count(mapped.nbytes)       # twisted phi gather
+        rows.append(mapped)
+    if not rows:
+        return []
+    width = max(row.size for row in rows)
+    matrix = np.zeros((len(rows), width), dtype=np.int64)
+    for index, row in enumerate(rows):        # the per-row pack loop
+        matrix[index, :row.size] = row
+    LEDGER.count(matrix.nbytes)
+    components = batch_signature_matrix(scheme.field, matrix,
+                                        scheme.base.betas)
+    return [Signature(tuple(int(c) for c in comp), scheme.scheme_id)
+            for comp in components]
+
+
+def _legacy_delta_fold(scheme, regions) -> list[Signature]:
+    """The pre-arena delta pipeline: joined sides, widened, packed."""
+    positions = [position for position, _b, _a in regions]
+    joined_before = b"".join(b for _p, b, _a in regions)
+    LEDGER.count(len(joined_before))
+    joined_after = b"".join(a for _p, _b, a in regions)
+    LEDGER.count(len(joined_after))
+    before_symbols = scheme.signable_symbols(joined_before)
+    LEDGER.count(before_symbols.nbytes)
+    after_symbols = scheme.signable_symbols(joined_after)
+    LEDGER.count(after_symbols.nbytes)
+    if not scheme.is_linear:
+        # signable_symbols mapped each side: one more gather per side.
+        LEDGER.count(before_symbols.nbytes + after_symbols.nbytes)
+    xor = before_symbols ^ after_symbols
+    LEDGER.count(xor.nbytes)
+    matrix = xor.reshape(len(regions), -1)    # uniform regions
+    components = delta_signature_matrix(
+        scheme.field, matrix, np.asarray(positions, dtype=np.int64),
+        scheme.base.betas)
+    return [Signature(tuple(int(c) for c in comp), scheme.scheme_id)
+            for comp in components]
+
+
+def _legacy_seal_many(scheme, bodies) -> list[Signature]:
+    """The pre-arena sealing shape: join each body, sign owned bytes."""
+    joined = []
+    for parts in bodies:
+        body = b"".join(parts)
+        LEDGER.count(len(body))
+        joined.append(body)
+    return _legacy_batch_sign(scheme, joined)
+
+
+def _bench_copies(f: int, n: int, pages: list[bytes]) -> dict:
+    """Copies-per-byte of the sign -> fold -> seal pipeline, both modes.
+
+    Both modes are verified byte-identical before their ledgers are
+    compared; the reduction is enforced at :data:`COPIES_MIN_REDUCTION`.
+    """
+    scheme = make_scheme(f=f, n=n)
+    signer = BatchSigner(scheme)
+    symbol_bytes = scheme.scheme_id.symbol_bytes
+    rng = np.random.default_rng(SEED + 4)
+    region_bytes = DIRTY_REGION_BYTES
+    region_symbols = region_bytes // symbol_bytes
+    # Positions stay inside the Proposition-1 certainty bound: a shifted
+    # region must fit within one signable page.
+    position_slots = scheme.max_page_symbols - region_symbols + 1
+    regions = []
+    for index in range(COPIES_REGIONS):
+        before = rng.integers(0, 256, size=region_bytes,
+                              dtype=np.uint8).tobytes()
+        after = rng.integers(0, 256, size=region_bytes,
+                             dtype=np.uint8).tobytes()
+        regions.append(((index * region_symbols) % position_slots,
+                        before, after))
+    bodies = [[COPIES_BODY_HEADER, page] for page in pages]
+    payload = (sum(len(page) for page in pages)
+               + 2 * COPIES_REGIONS * region_bytes
+               + sum(len(part) for parts in bodies for part in parts))
+
+    with LEDGER.counting() as ledger:
+        legacy = (_legacy_batch_sign(scheme, pages),
+                  _legacy_delta_fold(scheme, regions),
+                  _legacy_seal_many(scheme, bodies))
+        legacy_copied, legacy_events = ledger.bytes_copied, ledger.events
+    with LEDGER.counting() as ledger:
+        arena = (signer.sign_many(pages, strict=False),
+                 signer.delta_signature_many(regions),
+                 signer.sign_concat_many(bodies, strict=False))
+        arena_copied, arena_events = ledger.bytes_copied, ledger.events
+    if legacy != arena:
+        raise BenchError(f"legacy and arena pipelines diverged on GF(2^{f})")
+
+    legacy_cpb = legacy_copied / payload
+    arena_cpb = arena_copied / payload
+    reduction = legacy_cpb / max(arena_cpb, 1e-9)
+    if reduction < COPIES_MIN_REDUCTION:
+        raise BenchError(
+            f"arena path reduced copies-per-byte only {reduction:.2f}x on "
+            f"GF(2^{f}) (bound {COPIES_MIN_REDUCTION:g}x)")
+    return {
+        "field": f"gf{f}",
+        "payload_bytes": payload,
+        "legacy": {
+            "bytes_copied": legacy_copied,
+            "events": legacy_events,
+            "copies_per_byte": round(legacy_cpb, 4),
+        },
+        "arena": {
+            "bytes_copied": arena_copied,
+            "events": arena_events,
+            "copies_per_byte": round(arena_cpb, 4),
+        },
+        "reduction": round(reduction, 2),
+    }
+
+
+def _bench_cores(pages: list[bytes], repeats: int) -> dict:
+    """Worker-scaling sweep: thread vs process backend, exactness first."""
+    scheme = make_scheme()
+    cpu_count = os.cpu_count() or 1
+    counts = sorted({1, 2, 4, cpu_count})
+    reference = BatchSigner(scheme).sign_many(pages, strict=False)
+    rows = []
+    rates: dict[tuple[str, int], float] = {}
+    for backend in ("thread", "process"):
+        for workers in counts:
+            signer = BatchSigner(scheme, workers=workers, backend=backend)
+
+            def sweep(signer=signer):
+                return signer.sign_many(pages, strict=False)
+
+            if sweep() != reference:
+                raise BenchError(
+                    f"{backend} backend with {workers} workers diverged "
+                    f"from scheme.sign")
+            seconds = max(_best_seconds(sweep, repeats), 1e-9)
+            rate = len(pages) / seconds
+            rates[(backend, workers)] = rate
+            rows.append({
+                "backend": backend,
+                "workers": workers,
+                "pages": len(pages),
+                "seconds": round(seconds, 6),
+                "pages_per_s": round(rate, 3),
+                "mib_per_s": round(
+                    len(pages) * PAGE_BYTES / (1 << 20) / seconds, 3),
+            })
+    single = rates[("thread", 1)]
+    best_process = max(rate for (backend, _w), rate in rates.items()
+                       if backend == "process")
+    best_thread = max(rate for (backend, _w), rate in rates.items()
+                      if backend == "thread")
+    process_speedup = best_process / single
+    enforced = cpu_count >= CORES_TARGET_MIN_CPUS
+    if enforced and process_speedup < CORES_MIN_PROCESS_SPEEDUP:
+        raise BenchError(
+            f"process backend reached only {process_speedup:.2f}x the "
+            f"single-worker throughput on {cpu_count} cores "
+            f"(bound {CORES_MIN_PROCESS_SPEEDUP:g}x)")
+    return {
+        "cpu_count": cpu_count,
+        "workers_swept": counts,
+        "results": rows,
+        "speedups": {
+            "process_best_vs_single": round(process_speedup, 2),
+            "thread_best_vs_single": round(best_thread / single, 2),
+        },
+        "target_enforced": enforced,
+        "min_process_speedup": CORES_MIN_PROCESS_SPEEDUP,
+    }
+
+
 def run(quick: bool = False, workers: int = WORKERS) -> dict:
     """Run the harness; returns the JSON-able benchmark document."""
     page_count = 8 if quick else 48
@@ -527,11 +756,28 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
                 else SERVE_OPS_PER_STEP,
                 "min_post_saturation": SERVE_MIN_POST_SATURATION,
             },
+            "sign": {
+                "backends": ["thread", "process"],
+                "default_workers": resolve_workers(),
+                "workers_env": "REPRO_SIGN_WORKERS",
+                "cpu_count": os.cpu_count() or 1,
+            },
+            "copies": {
+                "regions": COPIES_REGIONS,
+                "region_bytes": DIRTY_REGION_BYTES,
+                "min_reduction": COPIES_MIN_REDUCTION,
+            },
+            "cores": {
+                "min_process_speedup": CORES_MIN_PROCESS_SPEEDUP,
+                "target_min_cpus": CORES_TARGET_MIN_CPUS,
+            },
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)
             for f, n in FIELDS
         ],
+        "copies": [_bench_copies(f, n, pages) for f, n in FIELDS],
+        "cores": _bench_cores(pages, repeats),
         "store": _bench_store(store_pages, repeats),
         "obs": _bench_obs(obs_samples, repeats),
         "serve": _bench_serve(quick),

@@ -78,9 +78,17 @@ class WireError(ReproError):
 # Sealing: the 4-byte integrity check on every message
 # ----------------------------------------------------------------------
 
-def seal(scheme: AlgebraicSignatureScheme, body: bytes) -> bytes:
-    """Append the body's algebraic signature."""
-    return body + scheme.sign(body, strict=False).to_bytes()
+def seal(scheme: AlgebraicSignatureScheme,
+         body: bytes | memoryview) -> bytes:
+    """Append the body's algebraic signature.
+
+    The body is signed as an in-place view (the batch engine's zero-copy
+    lane) and lands exactly once, in the sealed output.
+    """
+    from ..sig.engine import get_batch_signer
+
+    signature = get_batch_signer(scheme).sign_concat([body], strict=False)
+    return b"".join((body, signature.to_bytes()))
 
 
 def seal_many(scheme: AlgebraicSignatureScheme,
@@ -89,36 +97,51 @@ def seal_many(scheme: AlgebraicSignatureScheme,
 
     Burst senders (mirror page shipping, anti-entropy rounds) sign all
     their outgoing payloads through the batch engine -- one 2-D kernel
-    pass -- instead of one dispatch per message.  Each result is exactly
-    ``seal(scheme, body)``.
+    pass over a single symbol-aligned landing -- instead of one
+    dispatch per message.  Each result is exactly ``seal(scheme, body)``.
     """
     from ..sig.engine import get_batch_signer
 
-    signatures = get_batch_signer(scheme).sign_many(bodies, strict=False)
-    return [body + signature.to_bytes()
+    signatures = get_batch_signer(scheme).sign_concat_many(
+        [[body] for body in bodies], strict=False)
+    return [b"".join((body, signature.to_bytes()))
             for body, signature in zip(bodies, signatures)]
 
 
-def unseal(scheme: AlgebraicSignatureScheme, data: bytes) -> bytes | None:
-    """Verify and strip the seal; ``None`` flags a corrupted transfer."""
+def unseal(scheme: AlgebraicSignatureScheme,
+           data: bytes | memoryview) -> bytes | memoryview | None:
+    """Verify and strip the seal; ``None`` flags a corrupted transfer.
+
+    Verification happens over views -- no intermediate body/tail slice
+    copies.  ``bytes`` in, ``bytes`` out (the historical contract);
+    ``memoryview`` in, ``memoryview`` out (fully zero-copy).
+    """
+    from ..sig.engine import get_batch_signer
+
     width = scheme.signature_bytes
     if len(data) < width:
         return None
-    body, tail = data[:-width], data[-width:]
-    if scheme.sign(body, strict=False).to_bytes() != tail:
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    body_view = view[:-width]
+    signature = get_batch_signer(scheme).sign_concat([body_view],
+                                                     strict=False)
+    if signature.to_bytes() != bytes(view[-width:]):
         return None
-    return body
+    if isinstance(data, memoryview):
+        return body_view
+    return data[:-width]
 
 
 # ----------------------------------------------------------------------
 # The trace envelope: causality propagation inside the seal
 # ----------------------------------------------------------------------
 
-def encode_traced(context: TraceContext | None, body: bytes) -> bytes:
+def encode_traced(context: TraceContext | None,
+                  body: bytes | memoryview) -> bytes:
     """Prepend the trace envelope (all-zero when ``context`` is None)."""
     if context is None:
-        return _TRACED.pack(0, 0) + body
-    return _TRACED.pack(context.trace_id, context.span_id) + body
+        return b"".join((_TRACED.pack(0, 0), body))
+    return b"".join((_TRACED.pack(context.trace_id, context.span_id), body))
 
 
 def decode_traced(body: bytes) -> tuple[TraceContext | None, bytes]:
@@ -142,11 +165,11 @@ def decode_traced(body: bytes) -> tuple[TraceContext | None, bytes]:
 # ----------------------------------------------------------------------
 
 def encode_request(op: int, request_id: int, key: int,
-                   value: bytes = b"") -> bytes:
+                   value: bytes | memoryview = b"") -> bytes:
     """Serialize one client request body."""
     if op not in OP_NAMES:
         raise WireError(f"unknown operation code {op}")
-    return _REQUEST.pack(op, request_id, key, len(value)) + value
+    return b"".join((_REQUEST.pack(op, request_id, key, len(value)), value))
 
 
 def decode_request(body: bytes) -> tuple[int, int, int, bytes]:
@@ -160,11 +183,12 @@ def decode_request(body: bytes) -> tuple[int, int, int, bytes]:
     return op, request_id, key, value
 
 
-def encode_reply(status: int, request_id: int, value: bytes = b"") -> bytes:
+def encode_reply(status: int, request_id: int,
+                 value: bytes | memoryview = b"") -> bytes:
     """Serialize one server reply body."""
     if status not in ST_NAMES:
         raise WireError(f"unknown status code {status}")
-    return _REPLY.pack(status, request_id, len(value)) + value
+    return b"".join((_REPLY.pack(status, request_id, len(value)), value))
 
 
 def decode_reply(body: bytes) -> tuple[int, int, bytes]:
@@ -178,9 +202,10 @@ def decode_reply(body: bytes) -> tuple[int, int, bytes]:
     return status, request_id, value
 
 
-def encode_mirror(image_len: int, page_index: int, page: bytes) -> bytes:
+def encode_mirror(image_len: int, page_index: int,
+                  page: bytes | memoryview) -> bytes:
     """Serialize one best-effort mirror page update."""
-    return _MIRROR.pack(image_len, page_index) + page
+    return b"".join((_MIRROR.pack(image_len, page_index), page))
 
 
 def decode_mirror(body: bytes) -> tuple[int, int, bytes]:
@@ -191,7 +216,8 @@ def decode_mirror(body: bytes) -> tuple[int, int, bytes]:
     return image_len, page_index, body[_MIRROR.size:]
 
 
-def encode_delta(image_len: int, offset: int, delta: bytes) -> bytes:
+def encode_delta(image_len: int, offset: int,
+                 delta: bytes | memoryview) -> bytes:
     """Serialize one best-effort mirror *delta* patch.
 
     ``delta`` is ``before XOR after`` for the changed byte extent at
@@ -201,7 +227,7 @@ def encode_delta(image_len: int, offset: int, delta: bytes) -> bytes:
     when its ``sig(delta)`` verifies (a corrupted patch is certainly
     detected for <= n corrupted symbols, Proposition 1).
     """
-    return _DELTA.pack(image_len, offset) + delta
+    return b"".join((_DELTA.pack(image_len, offset), delta))
 
 
 def decode_delta(body: bytes) -> tuple[int, int, bytes]:

@@ -24,6 +24,30 @@ from ..errors import GaloisFieldError
 from .field import GField
 
 
+def narrow_symbol_view(data, field: GField) -> np.ndarray | None:
+    """Zero-copy *narrow* symbol view of a raw byte buffer.
+
+    Returns a ``uint8`` (f=8) or little-endian ``uint16`` (f=16) array
+    aliasing ``data`` without any materialization, or ``None`` when the
+    buffer cannot be viewed in place (odd byte length under f=16 -- the
+    caller falls back to the padding path).  Narrow views feed the 2-D
+    kernels directly: the table gathers index with any integer dtype,
+    so the classic ``int64`` widening (8x / 4x the payload in memory
+    traffic) is skipped entirely on the zero-copy lanes.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        return None
+    if field.f == 8:
+        return np.frombuffer(data, dtype=np.uint8)
+    if field.f == 16:
+        if len(data) % 2:
+            return None
+        return np.frombuffer(data, dtype="<u2")
+    raise GaloisFieldError(
+        f"byte reinterpretation needs f in (8, 16), not {field.f}"
+    )
+
+
 def bytes_to_symbols(data: bytes | bytearray | memoryview, field: GField) -> np.ndarray:
     """Reinterpret raw bytes as an array of GF(2^f) symbols.
 
@@ -33,17 +57,15 @@ def bytes_to_symbols(data: bytes | bytearray | memoryview, field: GField) -> np.
       so padding only arises for the final fragment of odd objects).
     * other f: unsupported for byte reinterpretation -- construct symbol
       arrays directly instead (used by the small-field experiments).
+
+    The buffer is aliased in place (no intermediate ``bytes`` copy);
+    only the final dtype widening materializes anything.
     """
-    if field.f == 8:
-        return np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
-    if field.f == 16:
-        raw = bytes(data)
-        if len(raw) % 2:
-            raw += b"\x00"
-        return np.frombuffer(raw, dtype="<u2").astype(np.int64)
-    raise GaloisFieldError(
-        f"byte reinterpretation needs f in (8, 16), not {field.f}"
-    )
+    view = narrow_symbol_view(data, field)
+    if view is None and field.f == 16:
+        raw = bytes(data) + b"\x00"
+        view = np.frombuffer(raw, dtype="<u2")
+    return view.astype(np.int64)
 
 
 def symbols_to_bytes(symbols: np.ndarray, field: GField) -> bytes:
@@ -217,6 +239,49 @@ def term_array(field: GField, symbols: np.ndarray, beta: int) -> np.ndarray:
 # Many-page (2-D) kernels
 # ----------------------------------------------------------------------
 
+#: Mask-fill regime boundary: the vectorized boolean-mask store builds
+#: an ``(N, L)`` mask, so it wins only when rows are short relative to
+#: the batch (measured crossover near ``N ~ 8 L``; see PERFORMANCE.md).
+_MASK_FILL_ROW_RATIO = 8
+
+
+def pack_flat(flat: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Pack one flat symbol run into a zero-padded ``(N, L)`` matrix.
+
+    ``flat`` is the concatenation of ``N`` pages whose sizes are given
+    by ``lengths``.  Two shortcuts avoid any fill: a single page
+    returns a ``(1, L)`` view, and uniform-length pages return a
+    zero-copy ``reshape``.  Mixed lengths are filled by the strategy
+    the regime favors: one vectorized boolean-mask store for many short
+    rows (row-major assignment order matches concatenation order
+    exactly), or contiguous per-row slice copies when rows are long and
+    few -- there the ``(N, L)`` mask itself would cost more than the
+    copies (measured crossover near ``N ~ 8 L``).
+
+    The matrix keeps ``flat``'s dtype -- narrow (uint8/uint16) inputs
+    stay narrow, which is what keeps the arena lanes copy-cheap.
+    """
+    n_pages = int(lengths.size)
+    if n_pages == 0:
+        return np.zeros((0, 0), dtype=flat.dtype)
+    width = int(lengths.max())
+    if width == 0:
+        return np.zeros((n_pages, 0), dtype=flat.dtype)
+    if n_pages == 1:
+        return flat.reshape(1, width)
+    if int(lengths.min()) == width:
+        return flat.reshape(n_pages, width)
+    matrix = np.zeros((n_pages, width), dtype=flat.dtype)
+    if n_pages >= _MASK_FILL_ROW_RATIO * width:
+        matrix[np.arange(width) < lengths[:, None]] = flat
+        return matrix
+    starts = np.zeros(n_pages + 1, dtype=np.int64)
+    np.cumsum(lengths, out=starts[1:])
+    for row in range(n_pages):
+        matrix[row, :lengths[row]] = flat[starts[row]:starts[row + 1]]
+    return matrix
+
+
 def pack_pages(pages: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     """Pack 1-D symbol arrays into a zero-padded ``(N, L)`` matrix.
 
@@ -230,10 +295,20 @@ def pack_pages(pages: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     lengths = np.fromiter((page.size for page in pages), dtype=np.int64,
                           count=len(pages))
     width = int(lengths.max())
-    matrix = np.zeros((len(pages), width), dtype=np.int64)
-    for row, page in enumerate(pages):
-        matrix[row, :page.size] = page
-    return matrix, lengths
+    if (len(pages) > 1 and 0 < width
+            and len(pages) < _MASK_FILL_ROW_RATIO * width
+            and int(lengths.min()) != width
+            and all(page.dtype == pages[0].dtype for page in pages)):
+        # Long mixed rows: fill straight from the page arrays -- one
+        # copy per page, no flat intermediate (see pack_flat's regime
+        # note; the concatenation would double the bytes moved here).
+        # Mixed dtypes fall through to concatenate, which promotes.
+        matrix = np.zeros((len(pages), width), dtype=pages[0].dtype)
+        for row, page in enumerate(pages):
+            matrix[row, :page.size] = page
+        return matrix, lengths
+    flat = pages[0] if len(pages) == 1 else np.concatenate(pages)
+    return pack_flat(flat, lengths), lengths
 
 
 def batch_signature_matrix(field: GField, matrix: np.ndarray,

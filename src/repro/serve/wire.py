@@ -17,6 +17,11 @@ transfer time):
   addressing image from ordinary traffic.
 * IAM: ``bucket(4) || level(4) || low(8) || high(8)`` -- the LH*/RP*
   Image Adjustment Message, sent when a request arrived via forwarding.
+
+Encoders accept ``memoryview`` values (split transfers ship bucket
+pages as views into the arena-backed image) and decoders parse
+``memoryview`` bodies in place -- the value they return is then a view
+of the input, not a copy.
 """
 
 from __future__ import annotations
@@ -39,13 +44,14 @@ SPLIT_KIND = "s_split_transfer"
 
 
 def encode_request(op: int, request_id: int, key: int, deadline: float,
-                   value: bytes = b"") -> bytes:
+                   value: bytes | memoryview = b"") -> bytes:
     """Serialize one serve request body."""
     if op not in cwire.OP_NAMES:
         raise WireError(f"unknown operation code {op}")
     if deadline < 0:
         raise WireError("deadline cannot be negative")
-    return _SREQUEST.pack(op, request_id, key, deadline, len(value)) + value
+    return b"".join((
+        _SREQUEST.pack(op, request_id, key, deadline, len(value)), value))
 
 
 def decode_request(body: bytes) -> tuple[int, int, int, float, bytes]:
@@ -60,12 +66,14 @@ def decode_request(body: bytes) -> tuple[int, int, int, float, bytes]:
 
 
 def encode_reply(status: int, request_id: int, bucket: int, level: int,
-                 low: int, high: int, value: bytes = b"") -> bytes:
+                 low: int, high: int,
+                 value: bytes | memoryview = b"") -> bytes:
     """Serialize one serve reply body (with the answering bucket's view)."""
     if status not in cwire.ST_NAMES:
         raise WireError(f"unknown status code {status}")
-    return _SREPLY.pack(status, request_id, bucket, level, low, high,
-                        len(value)) + value
+    return b"".join((
+        _SREPLY.pack(status, request_id, bucket, level, low, high,
+                     len(value)), value))
 
 
 def decode_reply(body: bytes) -> tuple[int, int, int, int, int, int, bytes]:

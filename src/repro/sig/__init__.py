@@ -24,7 +24,14 @@ Sub-modules:
   β-power ladder cache, optional worker threads).
 * :mod:`incremental` -- write journals and the O(|delta|) in-place
   signature-map maintenance plane (Proposition 3, batched).
+* :mod:`arena`    -- the zero-copy page-buffer plane: pages as
+  ``(offset, length)`` views into contiguous (optionally shared-memory)
+  arenas, plus the copies-per-byte accounting ledger.
+* :mod:`parallel` -- the shared-memory process-pool signing backend
+  (``BatchSigner(backend="process")``).
 """
+
+from .arena import LEDGER, CopyLedger, PageArena, PageView
 
 from .base import PRIMITIVE, STANDARD, SignatureBase, make_base
 from .scheme import AlgebraicSignatureScheme, make_scheme
@@ -43,6 +50,7 @@ from .rolling import RollingWindow, find_signature_matches, search
 from .twisted import TwistedScheme, log_interpretation_scheme, sign_log_interpreted_fast
 from .fast import ChunkedSigner, PairedTableSigner
 from .engine import BatchSigner, PowerLadderCache, get_batch_signer
+from .parallel import resolve_workers, scheme_from_spec, scheme_spec
 from .incremental import (
     FoldReport,
     IncrementalSignatureMap,
@@ -85,6 +93,13 @@ __all__ = [
     "BatchSigner",
     "PowerLadderCache",
     "get_batch_signer",
+    "CopyLedger",
+    "LEDGER",
+    "PageArena",
+    "PageView",
+    "resolve_workers",
+    "scheme_spec",
+    "scheme_from_spec",
     "FoldReport",
     "IncrementalSignatureMap",
     "JournalEntry",

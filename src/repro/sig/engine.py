@@ -41,13 +41,19 @@ from ..gf.vectorized import (
     delta_signature_matrix,
     fold_rows_by_group,
     ladder_exponents,
+    narrow_symbol_view,
+    pack_flat,
     pack_pages,
 )
 from ..obs import registry as _obs
+from .arena import LEDGER, PageView
 from .compound import SignatureMap
 from .scheme import AlgebraicSignatureScheme
 from .signature import Signature
 from .tree import SignatureTree
+
+#: Raw byte containers the zero-copy lanes reinterpret in place.
+RAW_BYTES = (bytes, bytearray, memoryview)
 
 #: Soft bound on a single packed matrix (rows * padded width) so batch
 #: temporaries stay cache- and RAM-friendly; larger batches are processed
@@ -126,27 +132,53 @@ class BatchSigner:
         zero padding stays signature-neutral).
     workers:
         When given (and > 1), batches are chunked by page ranges onto a
-        thread pool -- the mode backup uses for multi-bucket scans.
+        thread pool (``backend="thread"``) or a shared-memory process
+        pool (``backend="process"``).  ``backend="process"`` with no
+        explicit count defaults to :func:`repro.sig.parallel.
+        resolve_workers` (``REPRO_SIGN_WORKERS`` env override, else
+        ``os.cpu_count()``).
     ladders:
         Ladder cache to share; defaults to :data:`DEFAULT_LADDERS`.
     block_symbols:
         Bound on rows x padded-width per packed matrix (memory ceiling).
+    backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        maps page content into :mod:`multiprocessing.shared_memory` and
+        shards row blocks across a fork-server pool, beating the GIL on
+        multi-core boxes; it engages on the zero-copy raw lanes
+        (``sign_many`` over byte pages, ``sign_map``, ``sign_concat_
+        many``) and falls back to in-process signing everywhere else.
     """
 
     def __init__(self, scheme: AlgebraicSignatureScheme,
                  workers: int | None = None,
                  ladders: PowerLadderCache | None = None,
-                 block_symbols: int = DEFAULT_BLOCK_SYMBOLS):
+                 block_symbols: int = DEFAULT_BLOCK_SYMBOLS,
+                 backend: str = "thread"):
         if workers is not None and workers < 1:
             raise SignatureError("workers must be a positive count")
         if block_symbols <= 0:
             raise SignatureError("block size must be positive")
+        if backend not in ("thread", "process"):
+            raise SignatureError(
+                f"backend must be 'thread' or 'process', not {backend!r}"
+            )
+        if backend == "process" and workers is None:
+            from .parallel import resolve_workers
+            workers = resolve_workers()
         self.scheme = scheme
         self.workers = workers
+        self.backend = backend
         self.ladders = ladders if ladders is not None else DEFAULT_LADDERS
         self.block_symbols = block_symbols
         self._obs = _obs.HandleCache()
         self._obs_delta = _obs.HandleCache()
+        self._obs_backend = _obs.HandleCache()
+
+    def _use_process(self, rows: int) -> bool:
+        """True when this batch should go to the process pool."""
+        return (self.backend == "process" and rows > 0
+                and (self.workers or 0) > 1)
 
     # ------------------------------------------------------------------
     # Batch signing
@@ -155,12 +187,36 @@ class BatchSigner:
     def sign_many(self, pages, strict: bool = True) -> list[Signature]:
         """Signatures of every page, byte-identical to ``scheme.sign``.
 
-        ``pages`` is any sequence of byte strings or symbol sequences;
-        lengths may differ freely.  With ``strict`` every page must
-        respect the Proposition-1 certainty bound.
+        ``pages`` is any sequence of byte strings, :class:`~repro.sig.
+        arena.PageView`\\ s, or symbol sequences; lengths may differ
+        freely.  With ``strict`` every page must respect the
+        Proposition-1 certainty bound.
+
+        Raw byte pages take the zero-copy lane: narrow symbol views are
+        concatenated once (no per-page ``bytes`` materialization, no
+        ``int64`` widening) and packed by one strided fill.  Symbol
+        sequences and odd-length GF(2^16) pages fall back to the
+        classic per-page coercion.
         """
         scheme = self.scheme
-        rows = [scheme.signable_symbols(page) for page in pages]
+        if not isinstance(pages, (list, tuple)):
+            pages = list(pages)
+        if not pages:
+            return []
+        packed = self._narrow_concat(pages)
+        if packed is not None:
+            flat, lengths = packed
+            if strict:
+                bound = scheme.max_page_symbols
+                if lengths.size and int(lengths.max()) > bound:
+                    raise PageTooLongError(
+                        f"page of {int(lengths.max())} symbols exceeds the "
+                        f"certainty bound {bound} for GF(2^{scheme.field.f})"
+                    )
+            return self._sign_flat(flat, lengths)
+        rows = [scheme.signable_symbols(
+            page.memoryview() if isinstance(page, PageView) else page
+        ) for page in pages]
         if strict:
             bound = scheme.max_page_symbols
             for row in rows:
@@ -170,6 +226,68 @@ class BatchSigner:
                         f"bound {bound} for GF(2^{scheme.field.f})"
                     )
         return self.sign_symbol_rows(rows)
+
+    def sign_views(self, views) -> list[Signature]:
+        """Sign arena :class:`~repro.sig.arena.PageView` pages zero-copy.
+
+        Equivalent to ``sign_many`` (views are accepted there too); kept
+        as an explicit entry point for arena-resident callers.
+        """
+        return self.sign_many(views)
+
+    def sign_concat(self, parts, strict: bool = True) -> Signature:
+        """Signature of the concatenation of ``parts``, joined lazily.
+
+        Byte-identical to ``scheme.sign(b"".join(parts))`` but the parts
+        land exactly once in a symbol-aligned scratch buffer (frame
+        encoders sign ``[header, payload]`` without building the body
+        twice).  A single symbol-aligned part is signed with no copy at
+        all.
+        """
+        return self.sign_concat_many([parts], strict=strict)[0]
+
+    def sign_concat_many(self, bodies, strict: bool = True) -> list[Signature]:
+        """One signature per body, each body a sequence of byte parts.
+
+        All bodies land in one scratch buffer (the single copy), each
+        body starting on a symbol boundary; odd-length GF(2^16) bodies
+        get the same trailing zero byte ``scheme.sign`` pads with.  A
+        lone single-part symbol-aligned body skips the scratch entirely.
+        """
+        scheme = self.scheme
+        field = scheme.field
+        symbol_bytes = field.f // 8
+        if not isinstance(bodies, (list, tuple)):
+            bodies = list(bodies)
+        if not bodies:
+            return []
+        sizes = [sum(len(part) for part in parts) for parts in bodies]
+        lengths = np.fromiter(
+            (-(-size // symbol_bytes) for size in sizes),
+            dtype=np.int64, count=len(sizes),
+        )
+        if strict:
+            bound = scheme.max_page_symbols
+            if lengths.size and int(lengths.max()) > bound:
+                raise PageTooLongError(
+                    f"page of {int(lengths.max())} symbols exceeds the "
+                    f"certainty bound {bound} for GF(2^{field.f})"
+                )
+        if len(bodies) == 1 and len(bodies[0]) == 1 \
+                and isinstance(bodies[0][0], RAW_BYTES):
+            flat = narrow_symbol_view(bodies[0][0], field)
+            if flat is not None:
+                return self._sign_flat(flat, lengths)
+        total = int(lengths.sum()) * symbol_bytes
+        scratch = bytearray(total)
+        position = 0
+        for parts in bodies:
+            for part in parts:
+                scratch[position:position + len(part)] = part
+                position += len(part)
+            position = -(-position // symbol_bytes) * symbol_bytes
+        LEDGER.count(sum(sizes))
+        return self._sign_flat(narrow_symbol_view(scratch, field), lengths)
 
     def sign_symbol_rows(self, rows: list[np.ndarray]) -> list[Signature]:
         """Sign already coerced-and-mapped symbol arrays (one per page).
@@ -209,6 +327,21 @@ class BatchSigner:
                 f"page of {page_symbols} symbols exceeds the certainty bound "
                 f"{self.scheme.max_page_symbols} for GF(2^{self.scheme.field.f})"
             )
+        if isinstance(data, RAW_BYTES) or isinstance(data, PageView):
+            raw = data.memoryview() if isinstance(data, PageView) else data
+            flat = narrow_symbol_view(raw, self.scheme.field)
+            if flat is not None:
+                # Zero-copy lane: the buffer is reinterpreted in place;
+                # rows are views of it (uniform spans reshape, the tail
+                # row alone pays a bounded fill).
+                total = int(flat.size)
+                count = -(-total // page_symbols) if total else 0
+                lengths = np.full(count, page_symbols, dtype=np.int64)
+                if count and total % page_symbols:
+                    lengths[-1] = total % page_symbols
+                signatures = self._sign_flat(flat, lengths)
+                return SignatureMap(self.scheme, page_symbols, signatures,
+                                    total)
         symbols = self.scheme.signable_symbols(data)
         total = symbols.size
         count = -(-total // page_symbols) if total else 0
@@ -327,6 +460,38 @@ class BatchSigner:
         self._emit_deltas(matrix.shape[0], int(matrix.size))
         return components
 
+    def _delta_flat_xor(self, befores, afters) -> np.ndarray | None:
+        """Mapped delta symbols of many regions, one narrow pass per side.
+
+        Replaces the historical ``signable_symbols(b"".join(...))`` on
+        each side: narrow views of every region are concatenated once
+        (no byte join, no ``int64`` widening for plain schemes) and the
+        delta is formed in the domain the scheme is linear in -- raw
+        symbols for plain schemes, phi-images for twisted ones.
+        Returns ``None`` when any region resists in-place viewing.
+        """
+        scheme = self.scheme
+        field = scheme.field
+        bef = [narrow_symbol_view(region, field) for region in befores]
+        aft = [narrow_symbol_view(region, field) for region in afters]
+        if any(view is None for view in bef) or \
+                any(view is None for view in aft):
+            return None
+        bflat = bef[0] if len(bef) == 1 else np.concatenate(bef)
+        aflat = aft[0] if len(aft) == 1 else np.concatenate(aft)
+        if len(bef) > 1:
+            LEDGER.count(bflat.nbytes + aflat.nbytes)
+        if scheme.is_linear:
+            xor = bflat ^ aflat
+            LEDGER.count(xor.nbytes)
+        else:
+            mapped_before = scheme.map_symbols(bflat)
+            mapped_after = scheme.map_symbols(aflat)
+            LEDGER.count(mapped_before.nbytes + mapped_after.nbytes)
+            xor = np.bitwise_xor(mapped_before, mapped_after,
+                                 out=mapped_before)
+        return xor
+
     def delta_signature_many(self, regions) -> list[Signature]:
         """Shifted delta signatures ``alpha^r * sig(delta)`` of many regions.
 
@@ -334,12 +499,40 @@ class BatchSigner:
         equal-length region contents; the result is ready to XOR onto
         the old page signatures (Proposition 3).  Plain and twisted
         schemes both go through one batched matrix pass: the delta is
-        formed in whichever domain the scheme is linear in.
+        formed in whichever domain the scheme is linear in.  Raw
+        symbol-aligned byte regions take the zero-copy narrow lane.
         """
         scheme = self.scheme
+        items = regions if isinstance(regions, (list, tuple)) \
+            else list(regions)
+        symbol_bytes = scheme.scheme_id.symbol_bytes
+        if items and all(
+            isinstance(before, RAW_BYTES) and isinstance(after, RAW_BYTES)
+            and len(before) == len(after)
+            and len(before) % symbol_bytes == 0
+            for _position, before, after in items
+        ):
+            positions = [int(position) for position, _b, _a in items]
+            befores = [before for _p, before, _a in items]
+            afters = [after for _p, _b, after in items]
+            xor = self._delta_flat_xor(befores, afters)
+            if xor is not None:
+                sizes = [len(before) // symbol_bytes for before in befores]
+                if len(set(sizes)) == 1 and sizes[0] > 0:
+                    components = self._delta_matrix(
+                        xor.reshape(len(sizes), sizes[0]), positions)
+                else:
+                    rows = np.split(xor, np.cumsum(sizes[:-1])) \
+                        if len(sizes) > 1 else [xor]
+                    components = self.delta_components(rows, positions)
+                scheme_id = scheme.scheme_id
+                return [
+                    Signature(tuple(int(c) for c in row), scheme_id)
+                    for row in components
+                ]
         rows: list[np.ndarray] = []
         positions: list[int] = []
-        for position, before, after in regions:
+        for position, before, after in items:
             before_syms = scheme.signable_symbols(before)
             after_syms = scheme.signable_symbols(after)
             if before_syms.size != after_syms.size:
@@ -412,8 +605,14 @@ class BatchSigner:
         if batched:
             if not sizes:
                 return {}
-            xor = (scheme.signable_symbols(b"".join(befores))
-                   ^ scheme.signable_symbols(b"".join(afters)))
+            # Narrow lane: regions are symbol-aligned byte containers,
+            # so both sides concatenate as in-place views -- no byte
+            # join, no widening (the historical b"".join re-concatenation
+            # lived here).
+            xor = self._delta_flat_xor(befores, afters)
+            if xor is None:  # pragma: no cover - aligned regions always view
+                xor = (scheme.signable_symbols(b"".join(befores))
+                       ^ scheme.signable_symbols(b"".join(afters)))
             if len(set(sizes)) == 1:
                 # Uniform regions: the concatenation IS the packed
                 # matrix -- reshape and sign, no per-row splitting.
@@ -469,6 +668,113 @@ class BatchSigner:
     # Internals
     # ------------------------------------------------------------------
 
+    def _narrow_concat(self, pages):
+        """``(flat, lengths)`` narrow concatenation of raw pages, or None.
+
+        The raw lane applies when every page is a byte container (or an
+        arena :class:`PageView`) whose length is symbol-aligned; the
+        result aliases single pages and costs exactly one narrow
+        concatenation otherwise.  ``None`` routes the caller to the
+        legacy per-page path.
+        """
+        field = self.scheme.field
+        views: list[np.ndarray] = []
+        lengths = np.empty(len(pages), dtype=np.int64)
+        for i, page in enumerate(pages):
+            if isinstance(page, PageView):
+                page = page.memoryview()
+            if not isinstance(page, RAW_BYTES):
+                return None
+            view = narrow_symbol_view(page, field)
+            if view is None:
+                return None
+            views.append(view)
+            lengths[i] = view.size
+        flat = views[0] if len(views) == 1 else np.concatenate(views)
+        if len(views) > 1:
+            LEDGER.count(flat.nbytes)
+        return flat, lengths
+
+    def _flat_spans(self, lengths: np.ndarray) -> list[tuple[int, int]]:
+        """Row spans over a flat batch whose packed matrices stay bounded."""
+        spans: list[tuple[int, int]] = []
+        start, width = 0, 0
+        for i, size in enumerate(lengths.tolist()):
+            next_width = max(width, size)
+            if i > start and next_width * (i - start + 1) > self.block_symbols:
+                spans.append((start, i))
+                start, width = i, size
+            else:
+                width = next_width
+        if lengths.size:
+            spans.append((start, int(lengths.size)))
+        if self.workers and self.workers > 1 and len(spans) < self.workers:
+            split: list[tuple[int, int]] = []
+            for lo, hi in spans:
+                parts = min(self.workers, hi - lo)
+                step = -(-(hi - lo) // parts) if parts else hi - lo
+                split.extend(
+                    (at, min(at + step, hi)) for at in range(lo, hi, step)
+                )
+            spans = split
+        return spans
+
+    def _sign_flat(self, flat: np.ndarray,
+                   lengths: np.ndarray) -> list[Signature]:
+        """Sign a narrow flat concatenation of pages (the zero-copy lane).
+
+        ``flat`` holds the raw symbols of every page back to back;
+        ``lengths`` gives per-page symbol counts.  The scheme's
+        pre-mapping is applied to the *flat* run (padding enters only
+        after mapping, so it stays signature-neutral for twisted
+        schemes), each bounded span is packed by one strided fill --
+        zero-copy when the span is uniform -- and the process backend,
+        when selected, ships spans to the shared-memory pool instead.
+        """
+        scheme = self.scheme
+        if not lengths.size:
+            return []
+        if self._use_process(int(lengths.size)):
+            from . import parallel
+            components = parallel.sign_flat_spans(
+                scheme, flat, lengths,
+                workers=self.workers or 1,
+                block_symbols=self.block_symbols,
+            )
+            self._emit(int(lengths.size))
+        else:
+            mapped = scheme.map_symbols(flat)
+            if mapped is not flat:
+                LEDGER.count(mapped.nbytes)
+            starts = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=starts[1:])
+            spans = self._flat_spans(lengths)
+
+            def sign_span(span: tuple[int, int]) -> np.ndarray:
+                lo, hi = span
+                matrix = pack_flat(mapped[starts[lo]:starts[hi]],
+                                   lengths[lo:hi])
+                if matrix.base is None and matrix.size:
+                    LEDGER.count(matrix.nbytes)
+                return self._sign_matrix(matrix)
+
+            if self.backend == "thread" and self.workers \
+                    and self.workers > 1 and len(spans) > 1:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    per_span = list(pool.map(sign_span, spans))
+            else:
+                per_span = [sign_span(span) for span in spans]
+            components = per_span[0] if len(per_span) == 1 else \
+                np.concatenate(per_span)
+        scheme._count_signed(int(lengths.sum()), "batch",
+                             calls=int(lengths.size))
+        self._emit_backend()
+        scheme_id = scheme.scheme_id
+        return [
+            Signature(tuple(int(c) for c in row), scheme_id)
+            for row in components
+        ]
+
     def _blocks(self, rows: list[np.ndarray]) -> list[list[np.ndarray]]:
         """Split rows into blocks whose packed matrices stay bounded."""
         blocks: list[list[np.ndarray]] = []
@@ -507,6 +813,13 @@ class BatchSigner:
         ))
         batches.inc()
         batch_pages.inc(pages)
+
+    def _emit_backend(self) -> None:
+        """Publish the signer's worker count under its backend label."""
+        (gauge,) = self._obs_backend.get(lambda registry: (
+            registry.gauge("sig.workers", backend=self.backend),
+        ))
+        gauge.set(self.workers or 1)
 
     def _emit_deltas(self, regions: int, symbols: int) -> None:
         batches, count, delta_bytes = self._obs_delta.get(lambda registry: (

@@ -58,15 +58,20 @@ class FrameError(StoreError):
 
 @dataclass(frozen=True, slots=True)
 class Frame:
-    """One decoded log frame (header + payload, seal already verified)."""
+    """One decoded log frame (header + payload, seal already verified).
+
+    ``payload`` may be ``bytes`` or a ``memoryview`` into a larger
+    buffer (a scanned segment, an arena) -- the codecs below slice it
+    without materializing either way.
+    """
 
     kind: int
     seq: int
     volume: str
-    payload: bytes
+    payload: bytes | memoryview
 
-    def body(self) -> bytes:
-        """Everything the seal covers: header plus volume plus payload."""
+    def header_volume(self) -> bytes:
+        """The sealed prefix before the payload: header plus volume."""
         volume = self.volume.encode()
         if len(volume) > 0xFFFF:
             raise FrameError(f"volume name of {len(volume)} bytes too long")
@@ -74,13 +79,26 @@ class Frame:
             raise FrameError(f"unknown frame kind {self.kind}")
         header = _HEADER.pack(MAGIC, self.kind, self.seq, len(volume),
                               len(self.payload))
-        return header + volume + self.payload
+        return header + volume
+
+    def body(self) -> bytes:
+        """Everything the seal covers: header plus volume plus payload."""
+        return self.header_volume() + bytes(self.payload)
 
 
 def encode(scheme: AlgebraicSignatureScheme, frame: Frame) -> bytes:
-    """Seal one frame: ``body || sig(body)``."""
-    body = frame.body()
-    return body + scheme.sign(body, strict=False).to_bytes()
+    """Seal one frame: ``body || sig(body)``.
+
+    The payload is signed as a view and lands exactly once -- in the
+    final output join -- instead of once for the body and once more for
+    the sealed result.
+    """
+    from ..sig.engine import get_batch_signer
+
+    header_volume = frame.header_volume()
+    seal = get_batch_signer(scheme).sign_concat(
+        [header_volume, frame.payload], strict=False)
+    return b"".join((header_volume, frame.payload, seal.to_bytes()))
 
 
 def encode_many(scheme: AlgebraicSignatureScheme,
@@ -88,18 +106,26 @@ def encode_many(scheme: AlgebraicSignatureScheme,
     """Seal a burst of frames in one batched signing pass.
 
     Bulk writers (whole-image loads, journal flushes) seal every frame
-    through the shared batch engine -- one 2-D kernel pass -- instead
-    of one signing dispatch per frame.  Each result equals
+    through the shared batch engine -- one 2-D kernel pass over a
+    single symbol-aligned landing of all bodies -- instead of one
+    signing dispatch (and one body join) per frame.  Each result equals
     ``encode(scheme, frame)``.
     """
     from ..sig.engine import get_batch_signer
 
-    bodies = [frame.body() for frame in frames]
-    seals = get_batch_signer(scheme).sign_many(bodies, strict=False)
-    return [body + seal.to_bytes() for body, seal in zip(bodies, seals)]
+    prefixes = [frame.header_volume() for frame in frames]
+    seals = get_batch_signer(scheme).sign_concat_many(
+        [[prefix, frame.payload]
+         for prefix, frame in zip(prefixes, frames)],
+        strict=False,
+    )
+    return [
+        b"".join((prefix, frame.payload, seal.to_bytes()))
+        for prefix, frame, seal in zip(prefixes, frames, seals)
+    ]
 
 
-def parse_at(buffer, offset: int, seal_bytes: int):
+def parse_at(buffer, offset: int, seal_bytes: int, copy: bool = True):
     """Structurally parse the frame starting at ``offset``.
 
     Returns ``(frame, end_offset, body_end)`` where ``buffer[offset:
@@ -108,6 +134,10 @@ def parse_at(buffer, offset: int, seal_bytes: int):
     (bad magic, impossible lengths, or the buffer ends mid-frame --
     the torn-write shape).  The seal is *not* checked here; callers
     batch-verify seals over all structurally valid frames at once.
+
+    With ``copy=False`` the frame's payload is a ``memoryview`` into
+    ``buffer`` (the scanner's zero-copy mode); the caller must keep the
+    buffer alive for the frame's lifetime.
     """
     if offset + HEADER_BYTES > len(buffer):
         return None
@@ -126,7 +156,13 @@ def parse_at(buffer, offset: int, seal_bytes: int):
         volume = volume_raw.decode()
     except UnicodeDecodeError:
         return None
-    payload = bytes(buffer[offset + HEADER_BYTES + volume_len:body_end])
+    payload_start = offset + HEADER_BYTES + volume_len
+    if copy:
+        payload = bytes(buffer[payload_start:body_end])
+    else:
+        view = buffer if isinstance(buffer, memoryview) \
+            else memoryview(buffer)
+        payload = view[payload_start:body_end]
     return Frame(kind, seq, volume, payload), end, body_end
 
 

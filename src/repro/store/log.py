@@ -204,19 +204,23 @@ class SegmentedLog:
         from ..sig.engine import get_batch_signer
 
         seal_bytes = self.scheme.scheme_id.signature_bytes
-        candidates: list[tuple[fr.Frame, int, int, bytes, bytes]] = []
+        candidates: list[tuple[fr.Frame, int, int, memoryview, memoryview]] = []
         regions: list[CorruptRegion] = []
         base = 0
         for index, size in self._segments:
             buffer = self._path(index).read_bytes() if size else b""
+            # Zero-copy certification: bodies, seals and frame payloads
+            # are views into the segment read; nothing is re-sliced into
+            # owned bytes on the scan path.
+            view = memoryview(buffer)
             offset = 0
             while offset < len(buffer):
-                parsed = fr.parse_at(buffer, offset, seal_bytes)
+                parsed = fr.parse_at(buffer, offset, seal_bytes, copy=False)
                 if parsed is not None:
                     frame, end, body_end = parsed
                     candidates.append((
                         frame, base + offset, base + end,
-                        buffer[offset:body_end], buffer[body_end:end],
+                        view[offset:body_end], view[body_end:end],
                     ))
                     offset = end
                     continue
@@ -234,11 +238,13 @@ class SegmentedLog:
                                              "garbage"))
                 offset = stop
             base += size
-        # Batch-verify every untrusted candidate's seal in one pass.
+        # Batch-verify every untrusted candidate's seal in one pass; the
+        # concat lane lands all bodies once, symbol-aligned, instead of
+        # signing (frequently odd-length) bodies one coercion at a time.
         unverified = [c for c in candidates if c[2] > trusted_bytes]
-        bodies = [c[3] for c in unverified]
-        seals = get_batch_signer(self.scheme).sign_many(bodies, strict=False) \
-            if bodies else []
+        seals = get_batch_signer(self.scheme).sign_concat_many(
+            [[c[3]] for c in unverified], strict=False,
+        ) if unverified else []
         good_seal = {id(c): seal.to_bytes() == c[4]
                      for c, seal in zip(unverified, seals)}
         valid: list[ScannedFrame] = []
