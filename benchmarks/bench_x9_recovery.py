@@ -1,0 +1,172 @@
+"""X9 -- parallel certified recovery and group-commit log writes.
+
+PR 9's tentpole: the certification scan of :class:`repro.store.SegmentedLog`
+is sharded by segment across the shared-memory process signing backend
+(:mod:`repro.store.recovery`) -- Proposition 1's per-frame seal checks
+are embarrassingly parallel because each seal is independent of batch
+composition -- and the log's write path gains a group-commit mode that
+coalesces bursts of frames into one OS write + one flush.
+
+Two sweeps:
+
+* **scan workers** -- a multi-segment faulted log (mid-log bit rot,
+  torn tail) is scanned with 1/2/4 workers; every worker count must
+  produce a byte-identical partition (certified frames, corrupt
+  regions, torn-tail start) before it is timed.  Speedup appears only
+  on multi-core hosts; exactness is asserted everywhere.
+* **flush mode** -- bursts of pre-sealed frames are appended under
+  ``flush="frame"`` vs ``flush="group"``; both modes must lay down
+  byte-identical segment files at identical offsets, and the grouped
+  path must beat the per-frame path at large bursts.
+"""
+
+import os
+import shutil
+import time
+
+import numpy as np
+
+from repro.sig import make_scheme
+from repro.store import SegmentedLog
+from repro.store import frames as fr
+
+SEED = 20040301
+VOLUME = "x9"
+SEGMENT_BYTES = 256 * 1024
+SCAN_FRAME_BYTES = 16 * 1024
+SCAN_FRAMES = 256                # ~4 MiB log, ~17 segments
+SCAN_WORKERS = (1, 2, 4)
+GROUP_FRAME_BYTES = 256
+GROUP_FRAMES = 512
+GROUP_BURSTS = (1, 8, 32, 128)
+
+
+def _build_faulted_log(directory) -> SegmentedLog:
+    """A multi-segment log with mid-log rot and a torn tail."""
+    rng = np.random.default_rng(SEED)
+    log = SegmentedLog(directory, make_scheme(),
+                       segment_bytes=SEGMENT_BYTES, flush="group")
+    log.append_many([
+        fr.Frame(fr.KIND_PAGE, seq, VOLUME,
+                 rng.integers(0, 256, size=SCAN_FRAME_BYTES,
+                              dtype=np.uint8).tobytes())
+        for seq in range(SCAN_FRAMES)
+    ])
+    log.corrupt_bytes(log.total_bytes // 2, b"\xff")
+    log.crash_cut(log.total_bytes - SCAN_FRAME_BYTES // 4)
+    return log
+
+
+def _fingerprint(result) -> tuple:
+    """Every observable coordinate of a scan's partition."""
+    return (
+        tuple((f.start, f.end, f.frame.seq, bytes(f.frame.payload))
+              for f in result.frames),
+        tuple((r.start, r.end, r.reason) for r in result.corrupt),
+        result.torn_start, result.total_bytes,
+    )
+
+
+def _best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_x9_scan_workers(benchmark, report_table, tmp_path):
+    """Exactness across worker counts, then the timing sweep."""
+    log = _build_faulted_log(tmp_path / "log")
+    reference = _fingerprint(log.scan(verify_workers=1))
+    rows = []
+    seconds = {}
+    for workers in SCAN_WORKERS:
+        assert _fingerprint(log.scan(verify_workers=workers)) == reference
+        seconds[workers] = _best(
+            lambda workers=workers: log.scan(verify_workers=workers))
+        rows.append([f"{workers} worker(s)",
+                     round(seconds[workers] * 1e3, 2),
+                     round(log.total_bytes / (1 << 20)
+                           / seconds[workers], 1)])
+    benchmark(lambda: log.scan(verify_workers=1))
+    log.close()
+    report_table(
+        "X9: segment-sharded certification scan "
+        f"({log.total_bytes / (1 << 20):.1f} MiB, "
+        f"{log.segment_count} segments, {os.cpu_count()} core(s))",
+        ["workers", "scan ms", "log MiB/s"],
+        rows,
+        notes="every worker count is verified byte-identical to the "
+              "sequential partition before timing; the speedup needs "
+              "real cores (BENCH_pr9.json records the ratio)",
+    )
+
+
+def test_x9_group_commit(benchmark, report_table, tmp_path):
+    """Identical bytes in both flush modes, then the burst sweep."""
+    scheme = make_scheme()
+    rng = np.random.default_rng(SEED + 1)
+    batch = [
+        fr.Frame(fr.KIND_DELTA, seq, VOLUME,
+                 rng.integers(0, 256, size=GROUP_FRAME_BYTES,
+                              dtype=np.uint8).tobytes())
+        for seq in range(GROUP_FRAMES)
+    ]
+    encoded = fr.encode_many(scheme, batch)
+    kinds = [frame.kind for frame in batch]
+
+    def write_all(flush: str, burst: int, directory) -> list[int]:
+        log = SegmentedLog(directory, scheme, flush=flush)
+        offsets = []
+        for at in range(0, len(encoded), burst):
+            offsets += log.append_encoded(encoded[at:at + burst],
+                                          kinds[at:at + burst])
+        log.close()
+        return offsets
+
+    images, offsets = {}, {}
+    for flush in ("frame", "group"):
+        directory = tmp_path / f"exact-{flush}"
+        offsets[flush] = write_all(flush, 32, directory)
+        images[flush] = b"".join(path.read_bytes() for path
+                                 in sorted(directory.glob("seg-*.log")))
+    assert images["frame"] == images["group"]
+    assert offsets["frame"] == offsets["group"]
+
+    rows = []
+    for burst in GROUP_BURSTS:
+        seconds = {}
+        for flush in ("frame", "group"):
+            best = float("inf")
+            for repeat in range(5):
+                directory = tmp_path / f"run-{flush}-{burst}-{repeat}"
+                directory.mkdir()
+                log = SegmentedLog(directory, scheme, flush=flush)
+                start = time.perf_counter()
+                for at in range(0, len(encoded), burst):
+                    log.append_encoded(encoded[at:at + burst],
+                                       kinds[at:at + burst])
+                log.close()
+                best = min(best, time.perf_counter() - start)
+            seconds[flush] = best
+        rows.append([f"burst {burst}",
+                     round(seconds["frame"] * 1e3, 3),
+                     round(seconds["group"] * 1e3, 3),
+                     round(seconds["frame"] / seconds["group"], 2)])
+    def anchor():
+        directory = tmp_path / "anchor"
+        write_all("group", 32, directory)
+        shutil.rmtree(directory)
+
+    benchmark(anchor)
+    report_table(
+        f"X9: group commit vs per-frame flush ({GROUP_FRAMES} frames of "
+        f"{GROUP_FRAME_BYTES} B)",
+        ["burst", "frame ms", "group ms", "speedup"],
+        rows,
+        notes="group commit lands a burst as one write + one flush; "
+              "per-frame flush pays the syscall pair per frame",
+    )
+    assert rows[-1][3] > 1.0, rows

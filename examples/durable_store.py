@@ -41,7 +41,8 @@ SEED = 7
 
 def life_1_write_and_crash(directory, rng) -> None:
     """Build a churned, checkpointed store; die mid-append."""
-    store = PageStore(make_scheme(), directory)
+    # Group commit: delta bursts land as one write + one flush each.
+    store = PageStore(make_scheme(), directory, flush="group")
     image = bytearray(rng.randrange(256) for _ in range(PAGES * PAGE_BYTES))
     store.write_image(VOLUME, bytes(image), PAGE_BYTES)
 
@@ -70,7 +71,8 @@ def life_1_write_and_crash(directory, rng) -> None:
 def life_2_recover_and_continue(directory, rng) -> bytes:
     """Certified recovery, then keep writing as if nothing happened."""
     scheme = make_scheme()
-    store, report = PageStore.recover(scheme, directory)
+    # Segment-sharded scan: byte-identical partition at any worker count.
+    store, report = PageStore.recover(scheme, directory, verify_workers=2)
     print(f"life 2: recovered -- {report.frames_valid} certified frames, "
           f"{report.frames_folded} folded past the checkpoint, "
           f"{report.torn_bytes} torn bytes truncated")
@@ -148,6 +150,8 @@ def main() -> None:
     for label, name in (
             ("log bytes appended", "store.bytes_appended"),
             ("frames sealed", "store.frames_sealed"),
+            ("group commits", "store.log.group_commits"),
+            ("log fsyncs", "store.log.fsyncs"),
             ("checkpoints", "store.checkpoints"),
             ("recoveries", "store.recoveries"),
             ("torn bytes truncated", "store.torn_bytes"),

@@ -20,11 +20,14 @@ Commands:
                      demo (unreliable network, retries, a crash with
                      signature-driven recovery) and print its run
                      report; identical seeds yield identical JSON
-* ``store [--json] [--seed N]`` -- run the durable-store demo: write a
-                     volume through the sealed log, checkpoint, inject
-                     mid-log bit rot and a torn tail write, then run
-                     certified recovery and verify the condemned-page
-                     report against the injected faults
+* ``store [--json] [--seed N] [--workers W] [--flush MODE]`` -- run
+                     the durable-store demo: write a volume through the
+                     sealed log (``--flush group`` coalesces frames into
+                     group commits), checkpoint, inject mid-log bit rot
+                     and a torn tail write, then run certified recovery
+                     (``--workers`` shards the certification scan by
+                     segment) and verify the condemned-page report
+                     against the injected faults
 * ``serve [--json] [--seed N]`` -- run the high-concurrency serving
                      plane under open-loop load: thousands of
                      non-blocking sessions sweep offered load past
@@ -275,27 +278,32 @@ def _store(arguments: list[str]) -> int:
     from repro.sig.compound import SignatureMap
     from repro.store import PageStore
 
+    usage = ("usage: python -m repro store [--json] [--seed N] "
+             "[--workers W] [--flush frame|group]")
     as_json = "--json" in arguments
     rest = [a for a in arguments if a != "--json"]
     seed = 42
-    if rest and rest[0] == "--seed":
-        if len(rest) < 2:
-            print("usage: python -m repro store [--json] [--seed N]",
-                  file=sys.stderr)
+    workers: int | None = None
+    flush = "frame"
+    while rest:
+        if rest[0] == "--seed" and len(rest) >= 2:
+            seed = int(rest[1])
+        elif rest[0] == "--workers" and len(rest) >= 2:
+            workers = int(rest[1])
+        elif rest[0] == "--flush" and len(rest) >= 2 \
+                and rest[1] in ("frame", "group"):
+            flush = rest[1]
+        else:
+            print(usage, file=sys.stderr)
             return 2
-        seed = int(rest[1])
         rest = rest[2:]
-    if rest:
-        print("usage: python -m repro store [--json] [--seed N]",
-              file=sys.stderr)
-        return 2
     rng = random.Random(seed)
     scheme = make_scheme()
     page_bytes = 1024
     registry = MetricsRegistry()
     checks: list[tuple[str, bool]] = []
     with use_registry(registry), tempfile.TemporaryDirectory() as tmp:
-        store = PageStore(scheme, tmp)
+        store = PageStore(scheme, tmp, flush=flush)
         image = bytes(rng.randrange(256) for _ in range(48 * page_bytes))
         store.write_image("demo", image, page_bytes)
         # Scattered journaled deltas, a checkpoint, then more deltas.
@@ -334,7 +342,9 @@ def _store(arguments: list[str]) -> int:
         for at, after, end in mutations:
             if end <= cut:
                 final[at:at + 64] = after
-        recovered, report = PageStore.recover(scheme, tmp)
+        recovered, report = PageStore.recover(scheme, tmp,
+                                              verify_workers=workers,
+                                              flush=flush)
         checks.append(("torn tail detected and truncated",
                        report.torn_bytes > 0))
         checks.append(("mid-log corruption detected",

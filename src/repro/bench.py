@@ -76,6 +76,26 @@ enforces the process backend at >= :data:`CORES_MIN_PROCESS_SPEEDUP` x
 the single-worker throughput; below that the speedup is recorded but
 not enforced (``target_enforced`` says which happened).
 
+The ``recovery`` block (schema v7) sweeps the parallel certification
+scan (:mod:`repro.store.recovery`): a multi-segment log carrying
+mid-log bit rot and a torn tail is scanned with 1/2/4/N workers, each
+sweep's partition (certified frames, corrupt regions, torn-tail start)
+verified identical to the sequential scan before it is timed.  On
+hosts with at least :data:`RECOVERY_TARGET_MIN_CPUS` cores the best
+parallel scan must beat the sequential one by
+:data:`RECOVERY_MIN_SPEEDUP` x; below that the ratio is recorded but
+not enforced (``target_enforced``).
+
+The ``group_commit`` block (schema v7) times
+:meth:`~repro.store.SegmentedLog.append_encoded` bursts under
+``flush="frame"`` (a write + flush syscall pair per frame) and
+``flush="group"`` (frames coalesce into one write + one flush per
+group).  Both modes are first verified to lay down byte-identical
+segment files at identical offsets; the grouped path must then reach
+:data:`GROUP_MIN_SPEEDUP` x the per-frame throughput at a burst of at
+least :data:`GROUP_MIN_BURST` frames -- enforced on every host, since
+coalescing syscalls needs no extra cores.
+
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
 byte-identical against ``scheme.sign`` before its timing is reported --
@@ -105,7 +125,7 @@ from .sig.signature import Signature
 from .store import PageStore
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v6"
+SCHEMA = "repro.bench/batch-engine/v7"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
@@ -162,6 +182,32 @@ COPIES_BODY_HEADER = b"frame-header-17b!"
 #: recorded there).
 CORES_MIN_PROCESS_SPEEDUP = 2.0
 CORES_TARGET_MIN_CPUS = 4
+
+#: Parallel-recovery sweep (schema v7): a multi-segment faulted log is
+#: certification-scanned with 1/2/4/N workers; every worker count must
+#: produce a byte-identical partition before it is timed.  The best
+#: parallel scan must beat the sequential one by this factor -- like
+#: the cores sweep, enforced only on hosts with enough cores.
+RECOVERY_SEGMENT_BYTES = 256 * 1024
+RECOVERY_FRAME_BYTES = 16 * 1024
+RECOVERY_FRAMES = 512
+RECOVERY_FRAMES_QUICK = 128
+RECOVERY_MIN_SPEEDUP = 2.0
+RECOVERY_TARGET_MIN_CPUS = 4
+
+#: Group-commit sweep (schema v7): bursts of pre-sealed frames are
+#: appended under ``flush="frame"`` (write + flush per frame) and
+#: ``flush="group"`` (one write + one flush per group); both modes are
+#: verified to produce byte-identical logs and offsets first.  At any
+#: burst of at least ``GROUP_MIN_BURST`` frames the grouped path must
+#: run at this multiple of the per-frame path -- enforced everywhere
+#: (coalescing syscalls needs no extra cores).
+GROUP_FRAME_BYTES = 256
+GROUP_FRAMES = 512
+GROUP_FRAMES_QUICK = 256
+GROUP_BURSTS = (1, 8, 32, 128)
+GROUP_MIN_SPEEDUP = 2.0
+GROUP_MIN_BURST = 32
 
 
 class BenchError(ReproError):
@@ -711,6 +757,204 @@ def _bench_cores(pages: list[bytes], repeats: int) -> dict:
     }
 
 
+def _scan_fingerprint(result) -> tuple:
+    """A scan's full observable partition, for exactness comparison.
+
+    Covers every certified frame's coordinates, seq and payload bytes,
+    every corrupt region, and the torn-tail start -- two scans with
+    equal fingerprints recovered byte-identical state.
+    """
+    return (
+        tuple((f.start, f.end, f.frame.kind, f.frame.seq, f.frame.volume,
+               bytes(f.frame.payload)) for f in result.frames),
+        tuple((r.start, r.end, r.reason) for r in result.corrupt),
+        result.torn_start,
+        result.total_bytes,
+    )
+
+
+def _build_recovery_log(directory: Path, frame_count: int):
+    """A multi-segment faulted log: churn, mid-log rot, torn tail."""
+    from .store import frames as store_frames
+    from .store.log import SegmentedLog
+
+    rng = np.random.default_rng(SEED + 5)
+    log = SegmentedLog(directory, make_scheme(),
+                       segment_bytes=RECOVERY_SEGMENT_BYTES, flush="group")
+    batch = [
+        store_frames.Frame(
+            store_frames.KIND_PAGE, seq, STORE_VOLUME,
+            rng.integers(0, 256, size=RECOVERY_FRAME_BYTES,
+                         dtype=np.uint8).tobytes())
+        for seq in range(frame_count)
+    ]
+    log.append_many(batch)
+    log.corrupt_bytes(log.total_bytes // 2, b"\xff")
+    log.crash_cut(log.total_bytes - RECOVERY_FRAME_BYTES // 4)
+    return log
+
+
+def _bench_recovery(quick: bool, repeats: int) -> dict:
+    """Certification-scan the faulted log with 1/2/4/N workers.
+
+    Every swept worker count's partition (frames, corrupt regions, torn
+    tail) is verified identical to the sequential scan before timing;
+    a diverging parallel scan fails the harness.  The speedup target is
+    enforced only on hosts with ``RECOVERY_TARGET_MIN_CPUS`` cores.
+    """
+    frame_count = RECOVERY_FRAMES_QUICK if quick else RECOVERY_FRAMES
+    cpu_count = os.cpu_count() or 1
+    counts = sorted({1, 2, 4, cpu_count})
+    with tempfile.TemporaryDirectory() as tmp:
+        log = _build_recovery_log(Path(tmp) / "log", frame_count)
+        baseline = log.scan(verify_workers=1)
+        reference = _scan_fingerprint(baseline)
+        rows = []
+        seconds_by_workers = {}
+        for workers in counts:
+            if _scan_fingerprint(
+                    log.scan(verify_workers=workers)) != reference:
+                raise BenchError(
+                    f"parallel scan with {workers} workers diverged from "
+                    f"the sequential partition")
+            seconds = max(_best_seconds(
+                lambda workers=workers: log.scan(verify_workers=workers),
+                repeats), 1e-9)
+            seconds_by_workers[workers] = seconds
+            rows.append({
+                "workers": workers,
+                "seconds": round(seconds, 6),
+                "log_mib_per_s": round(
+                    log.total_bytes / (1 << 20) / seconds, 3),
+            })
+        document = {
+            "log_bytes": log.total_bytes,
+            "segments": log.segment_count,
+            "frames_valid": len(baseline.frames),
+            "corrupt_regions": len(baseline.corrupt),
+            "torn_bytes": baseline.torn_bytes,
+            "cpu_count": cpu_count,
+            "workers_swept": counts,
+            "exact": True,   # every sweep checked against sequential
+            "results": rows,
+        }
+        log.close()
+    single = seconds_by_workers[1]
+    best_parallel = min((s for w, s in seconds_by_workers.items() if w > 1),
+                        default=single)
+    speedup = single / best_parallel
+    enforced = cpu_count >= RECOVERY_TARGET_MIN_CPUS
+    if enforced and speedup < RECOVERY_MIN_SPEEDUP:
+        raise BenchError(
+            f"parallel recovery scan reached only {speedup:.2f}x the "
+            f"sequential time on {cpu_count} cores "
+            f"(bound {RECOVERY_MIN_SPEEDUP:g}x)")
+    document["speedups"] = {"parallel_best_vs_single": round(speedup, 2)}
+    document["target_enforced"] = enforced
+    document["min_speedup"] = RECOVERY_MIN_SPEEDUP
+    return document
+
+
+def _bench_group_commit(quick: bool, repeats: int) -> dict:
+    """Append-throughput sweep: per-frame flush vs group commit.
+
+    Both flush modes are first verified to lay down byte-identical
+    segment files at identical frame offsets; then bursts of pre-sealed
+    frames are timed through :meth:`SegmentedLog.append_encoded`.  The
+    grouped path must reach ``GROUP_MIN_SPEEDUP`` x the per-frame path
+    at some burst of at least ``GROUP_MIN_BURST`` frames.
+    """
+    from .obs import MetricsRegistry, use_registry
+    from .store import frames as store_frames
+    from .store.log import SegmentedLog
+
+    frame_count = GROUP_FRAMES_QUICK if quick else GROUP_FRAMES
+    scheme = make_scheme()
+    rng = np.random.default_rng(SEED + 6)
+    batch = [
+        store_frames.Frame(
+            store_frames.KIND_DELTA, seq, STORE_VOLUME,
+            rng.integers(0, 256, size=GROUP_FRAME_BYTES,
+                         dtype=np.uint8).tobytes())
+        for seq in range(frame_count)
+    ]
+    encoded = store_frames.encode_many(scheme, batch)
+    kinds = [frame.kind for frame in batch]
+
+    def write_all(flush: str, burst: int, directory: str) -> list[int]:
+        log = SegmentedLog(directory, scheme, flush=flush)
+        offsets = []
+        for at in range(0, len(encoded), burst):
+            offsets += log.append_encoded(encoded[at:at + burst],
+                                          kinds[at:at + burst])
+        log.close()
+        return offsets
+
+    # Exactness first: identical bytes and offsets, and the flush
+    # ledger showing the syscall coalescing the timing claims.
+    images, offsets, fsyncs = {}, {}, {}
+    for flush in ("frame", "group"):
+        registry = MetricsRegistry()
+        with tempfile.TemporaryDirectory() as tmp, use_registry(registry):
+            offsets[flush] = write_all(flush, GROUP_MIN_BURST, tmp)
+            images[flush] = b"".join(
+                path.read_bytes()
+                for path in sorted(Path(tmp).glob("seg-*.log")))
+        fsyncs[flush] = int(registry.total("store.log.fsyncs"))
+    if images["frame"] != images["group"] \
+            or offsets["frame"] != offsets["group"]:
+        raise BenchError("group commit changed the encoded log")
+
+    def timed_once(flush: str, burst: int) -> float:
+        # The tempdir setup/teardown happens outside the clock: the
+        # sweep times the append path, not the filesystem fixture.
+        with tempfile.TemporaryDirectory() as tmp:
+            log = SegmentedLog(tmp, scheme, flush=flush)
+            start = time.perf_counter()
+            for at in range(0, len(encoded), burst):
+                log.append_encoded(encoded[at:at + burst],
+                                   kinds[at:at + burst])
+            log.close()               # lands any pending group
+            return time.perf_counter() - start
+
+    rows = []
+    best_eligible = 0.0
+    for burst in GROUP_BURSTS:
+        seconds = {}
+        for flush in ("frame", "group"):
+            seconds[flush] = max(
+                min(timed_once(flush, burst)
+                    for _ in range(max(repeats, 5))), 1e-9)
+        speedup = seconds["frame"] / seconds["group"]
+        if burst >= GROUP_MIN_BURST:
+            best_eligible = max(best_eligible, speedup)
+        rows.append({
+            "burst": burst,
+            "frame_seconds": round(seconds["frame"], 6),
+            "group_seconds": round(seconds["group"], 6),
+            "frame_frames_per_s": round(frame_count / seconds["frame"], 1),
+            "group_frames_per_s": round(frame_count / seconds["group"], 1),
+            "speedup": round(speedup, 2),
+        })
+    if best_eligible < GROUP_MIN_SPEEDUP:
+        raise BenchError(
+            f"group commit reached only {best_eligible:.2f}x the "
+            f"per-frame flush throughput at bursts >= {GROUP_MIN_BURST} "
+            f"(bound {GROUP_MIN_SPEEDUP:g}x)")
+    return {
+        "frames": frame_count,
+        "frame_bytes": GROUP_FRAME_BYTES,
+        "bursts": list(GROUP_BURSTS),
+        "exact": True,       # both modes checked byte-identical above
+        "fsyncs": fsyncs,    # flush syscalls per mode (same frame count)
+        "results": rows,
+        "speedups": {"group_best_vs_frame": round(best_eligible, 2)},
+        "target_enforced": True,
+        "min_speedup": GROUP_MIN_SPEEDUP,
+        "min_burst": GROUP_MIN_BURST,
+    }
+
+
 def run(quick: bool = False, workers: int = WORKERS) -> dict:
     """Run the harness; returns the JSON-able benchmark document."""
     page_count = 8 if quick else 48
@@ -771,6 +1015,22 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
                 "min_process_speedup": CORES_MIN_PROCESS_SPEEDUP,
                 "target_min_cpus": CORES_TARGET_MIN_CPUS,
             },
+            "recovery": {
+                "segment_bytes": RECOVERY_SEGMENT_BYTES,
+                "frame_bytes": RECOVERY_FRAME_BYTES,
+                "frames": RECOVERY_FRAMES_QUICK if quick
+                else RECOVERY_FRAMES,
+                "min_speedup": RECOVERY_MIN_SPEEDUP,
+                "target_min_cpus": RECOVERY_TARGET_MIN_CPUS,
+                "workers_env": "REPRO_RECOVERY_WORKERS",
+            },
+            "group_commit": {
+                "frame_bytes": GROUP_FRAME_BYTES,
+                "frames": GROUP_FRAMES_QUICK if quick else GROUP_FRAMES,
+                "bursts": list(GROUP_BURSTS),
+                "min_speedup": GROUP_MIN_SPEEDUP,
+                "min_burst": GROUP_MIN_BURST,
+            },
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)
@@ -778,6 +1038,8 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
         ],
         "copies": [_bench_copies(f, n, pages) for f, n in FIELDS],
         "cores": _bench_cores(pages, repeats),
+        "recovery": _bench_recovery(quick, repeats),
+        "group_commit": _bench_group_commit(quick, repeats),
         "store": _bench_store(store_pages, repeats),
         "obs": _bench_obs(obs_samples, repeats),
         "serve": _bench_serve(quick),

@@ -107,6 +107,8 @@ class Cluster:
                  header_bytes: int = 16,
                  durable_dir: str | Path | None = None,
                  durable_checkpoint_every: int | None = 64,
+                 durable_flush: str = "frame",
+                 recovery_workers: int | None = None,
                  service: "ServicePolicy | None" = None):
         if servers < 2:
             raise ClusterError("a cluster needs at least 2 server nodes")
@@ -150,6 +152,10 @@ class Cluster:
         self.durable_dir = Path(durable_dir) if durable_dir is not None \
             else None
         self.durable_checkpoint_every = durable_checkpoint_every
+        #: Write-path flush policy for the per-node logs and the worker
+        #: count for the segment-sharded certification scan (PR 9).
+        self.durable_flush = durable_flush
+        self.recovery_workers = recovery_workers
         if self.durable_dir is not None:
             for node in self.nodes:
                 node.attach_store(self._fresh_store(node))
@@ -273,7 +279,9 @@ class Cluster:
                 + list(directory.glob("*.ckpt")):
             leftover.unlink()
         return PageStore(self.scheme, directory,
-                         checkpoint_every=self.durable_checkpoint_every)
+                         checkpoint_every=self.durable_checkpoint_every,
+                         flush=self.durable_flush,
+                         verify_workers=self.recovery_workers)
 
     def _crash(self, node: ClusterNode, crash: Crash) -> None:
         if not node.is_up:
@@ -344,6 +352,8 @@ class Cluster:
             store, report = PageStore.recover(
                 self.scheme, node.store_dir,
                 checkpoint_every=self.durable_checkpoint_every,
+                verify_workers=self.recovery_workers,
+                flush=self.durable_flush,
             )
         except (ReproError, OSError):
             return False

@@ -102,6 +102,27 @@ class CopyLedger:
 LEDGER = CopyLedger()
 
 
+def _disarm(shm) -> None:
+    """Neutralize a ``SharedMemory`` whose mapping is pinned by views.
+
+    ``close()`` raised BufferError: zero-copy views into the arena (a
+    scan result's frame payloads) are still alive.  Those views keep
+    the underlying ``mmap`` mapped -- the OS frees the memory when the
+    last one dies -- so the wrapper's own handles are safe to drop.
+    Without this, the wrapper's ``__del__`` would retry ``close()`` and
+    spew ``Exception ignored ... BufferError`` at every collection.
+    """
+    import os
+
+    try:
+        shm._mmap = None
+        if shm._fd >= 0:
+            os.close(shm._fd)
+            shm._fd = -1
+    except Exception:   # pragma: no cover - stdlib internals moved
+        pass
+
+
 # ----------------------------------------------------------------------
 # The arena
 # ----------------------------------------------------------------------
@@ -241,6 +262,27 @@ class PageArena:
         self.used = offset + length
         return PageView(self, offset, length)
 
+    def reserve(self, length: int) -> PageView:
+        """Advance the cursor over ``length`` bytes without writing them.
+
+        The caller fills the returned view in place -- the ``readinto``
+        landing a segment file pays on its way into a shared scan arena.
+        Because the arena never sees the bytes move, charging the
+        :data:`LEDGER` for the fill is the caller's responsibility.
+        """
+        if self._closed:
+            raise SignatureError("arena is closed")
+        if length < 0:
+            raise SignatureError("reservation must be non-negative")
+        offset = -(-self.used // self.align) * self.align
+        if offset + length > self.capacity:
+            raise SignatureError(
+                f"arena overflow: {length} bytes at {offset} exceeds "
+                f"capacity {self.capacity}"
+            )
+        self.used = offset + length
+        return PageView(self, offset, length)
+
     def write_at(self, offset: int, data) -> None:
         """Overwrite bytes in place (journal capture surfaces)."""
         if offset < 0 or offset + len(data) > self.capacity:
@@ -293,6 +335,24 @@ class PageArena:
 
     # -- lifetime ------------------------------------------------------
 
+    def unlink(self) -> None:
+        """Give up the shared block's *name*, keeping the mapping alive.
+
+        Once every worker that will ever attach has attached, unlinking
+        early makes cleanup crash-proof without invalidating views
+        already handed out: the OS frees the memory only when the last
+        mapping disappears, so :class:`PageView`\\ s into the arena stay
+        valid until they are garbage collected, while the ``/dev/shm``
+        name is gone even if the owner dies before :meth:`close`.
+        A later ``close()`` then only drops this process's mapping.
+        """
+        if self._shm is not None and self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._owner = False
+
     def close(self) -> None:
         """Detach the buffer; unlink the shared block if this side owns it.
 
@@ -312,7 +372,7 @@ class PageArena:
             try:
                 self._shm.close()
             except BufferError:
-                pass
+                _disarm(self._shm)
             if self._owner:
                 try:
                     self._shm.unlink()

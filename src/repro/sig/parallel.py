@@ -50,27 +50,37 @@ from .twisted import TwistedScheme, log_interpretation_scheme
 SchemeSpec = tuple
 
 
-def resolve_workers(requested: int | None = None) -> int:
-    """The worker count: explicit > ``REPRO_SIGN_WORKERS`` > cpu_count.
+def resolve_workers(requested: int | None = None,
+                    env: str | tuple[str, ...] = "REPRO_SIGN_WORKERS") -> int:
+    """The worker count: explicit > environment override(s) > cpu_count.
 
     ``requested`` wins when given; otherwise the environment override is
     honoured (ops pin the signing fleet without code changes), else the
     machine's core count.  Always at least 1.
+
+    ``env`` may be a tuple of variable names forming a precedence chain
+    -- the first set (non-empty) variable wins.  Recovery resolves
+    ``("REPRO_RECOVERY_WORKERS", "REPRO_SIGN_WORKERS")`` so the scan
+    fleet can be pinned independently of the signing fleet but falls
+    back to it.
     """
     if requested is not None:
         if requested < 1:
             raise SignatureError("workers must be a positive count")
         return requested
-    env = os.environ.get("REPRO_SIGN_WORKERS", "").strip()
-    if env:
+    names = (env,) if isinstance(env, str) else env
+    for name in names:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            continue
         try:
-            value = int(env)
+            value = int(raw)
         except ValueError:
             raise SignatureError(
-                f"REPRO_SIGN_WORKERS must be an integer, not {env!r}"
+                f"{name} must be an integer, not {raw!r}"
             ) from None
         if value < 1:
-            raise SignatureError("REPRO_SIGN_WORKERS must be positive")
+            raise SignatureError(f"{name} must be positive")
         return value
     return os.cpu_count() or 1
 

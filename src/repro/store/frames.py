@@ -166,6 +166,50 @@ def parse_at(buffer, offset: int, seal_bytes: int, copy: bool = True):
     return Frame(kind, seq, volume, payload), end, body_end
 
 
+def scan_buffer(buffer, seal_bytes: int):
+    """Structurally walk one contiguous buffer of appended frames.
+
+    Returns ``(candidates, garbage)`` in *local* offsets: each candidate
+    is ``(frame, start, end, body_end)`` with a zero-copy payload view
+    into ``buffer``, each garbage span ``(start, end)`` covers bytes
+    where no structurally valid frame begins.  After corruption the walk
+    *resyncs* at the next offset where a frame parses.  Seals are not
+    checked here -- callers batch-verify them over all candidates at
+    once, which is what lets the sequential scan and the per-segment
+    recovery workers share this exact walk.
+    """
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    size = len(view)
+    candidates = []
+    garbage = []
+    offset = 0
+    haystack = None     # owned bytes for resync searches, built lazily
+    while offset < size:
+        parsed = parse_at(view, offset, seal_bytes, copy=False)
+        if parsed is not None:
+            frame, end, body_end = parsed
+            candidates.append((frame, offset, end, body_end))
+            offset = end
+            continue
+        if haystack is None:
+            # Only the (rare) corrupt path pays a materialization; a
+            # shared-memory segment view has no ``find``.
+            haystack = buffer if isinstance(buffer, (bytes, bytearray)) \
+                else bytes(view)
+        bad_start = offset
+        resync = None
+        probe = haystack.find(MAGIC, offset + 1)
+        while probe != -1:
+            if parse_at(view, probe, seal_bytes, copy=False) is not None:
+                resync = probe
+                break
+            probe = haystack.find(MAGIC, probe + 1)
+        stop = resync if resync is not None else size
+        garbage.append((bad_start, stop))
+        offset = stop
+    return candidates, garbage
+
+
 # ----------------------------------------------------------------------
 # Payload codecs
 # ----------------------------------------------------------------------

@@ -28,7 +28,10 @@ monotonicity check.
 
 from __future__ import annotations
 
+import time
+from collections import Counter
 from dataclasses import dataclass
+from itertools import accumulate, islice
 from pathlib import Path
 
 from ..errors import StoreError
@@ -38,6 +41,12 @@ from . import frames as fr
 
 #: Default segment roll size.
 SEGMENT_BYTES = 1 << 20
+
+#: Group-commit defaults: the pending buffer lands as one OS write +
+#: one flush when it reaches this many bytes ...
+GROUP_BYTES = 256 * 1024
+#: ... or when the oldest pending byte is older than this.
+GROUP_LATENCY_S = 0.010
 
 
 def _segment_name(index: int) -> str:
@@ -96,13 +105,25 @@ class SegmentedLog:
 
     def __init__(self, directory: str | Path,
                  scheme: AlgebraicSignatureScheme,
-                 segment_bytes: int = SEGMENT_BYTES):
+                 segment_bytes: int = SEGMENT_BYTES,
+                 flush: str = "frame",
+                 group_bytes: int = GROUP_BYTES,
+                 group_latency_s: float = GROUP_LATENCY_S):
         if segment_bytes < 4096:
             raise StoreError("segment size must be at least 4096 bytes")
+        if flush not in ("frame", "group"):
+            raise StoreError(f"unknown flush mode {flush!r}")
+        if group_bytes < 1:
+            raise StoreError("group_bytes must be positive")
+        if group_latency_s < 0:
+            raise StoreError("group_latency_s must be non-negative")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.scheme = scheme
         self.segment_bytes = segment_bytes
+        self.flush = flush
+        self.group_bytes = group_bytes
+        self.group_latency_s = group_latency_s
         #: (segment index, size in bytes), ascending by index.
         self._segments: list[tuple[int, int]] = sorted(
             (int(path.stem.split("-")[1]), path.stat().st_size)
@@ -110,6 +131,12 @@ class SegmentedLog:
         )
         self._handle = None
         self._handle_index: int | None = None
+        #: Coalesced frames awaiting their group commit.  Invariant:
+        #: pending bytes always belong to the open handle's segment
+        #: (a roll commits first) and are already counted in
+        #: ``_segments`` -- ``total_bytes`` is the *logical* length.
+        self._pending = bytearray()
+        self._pending_since: float | None = None
 
     # ------------------------------------------------------------------
     # Geometry
@@ -127,6 +154,14 @@ class SegmentedLog:
 
     def _path(self, index: int) -> Path:
         return self.directory / _segment_name(index)
+
+    def segments(self) -> list[tuple[int, int]]:
+        """``(segment index, size in bytes)`` pairs, ascending by index."""
+        return list(self._segments)
+
+    def segment_path(self, index: int) -> Path:
+        """The file a segment lives in (recovery's shard unit)."""
+        return self._path(index)
 
     def _locate(self, offset: int) -> tuple[int, int, int]:
         """Map an absolute offset to (list position, segment index, local)."""
@@ -147,6 +182,9 @@ class SegmentedLog:
             self._segments.append((0, 0))
         index, size = self._segments[-1]
         if size and size + incoming > self.segment_bytes:
+            # Rolling commits first: pending frames belong to the old
+            # segment and must land before its handle is dropped.
+            self.close()
             index, size = index + 1, 0
             self._segments.append((index, 0))
         if self._handle_index != index:
@@ -156,9 +194,13 @@ class SegmentedLog:
         return self._handle
 
     def append(self, frame: fr.Frame) -> int:
-        """Seal and append one frame; returns its absolute start offset."""
-        return self.append_encoded([fr.encode(self.scheme, frame)],
-                                   [frame.kind])[0]
+        """Seal and append one frame; returns its absolute start offset.
+
+        Single frames ride the same batch path as bursts: one
+        ``encode_many`` sealing pass, and under ``flush="group"`` no
+        per-frame flush -- the frame coalesces into the pending group.
+        """
+        return self.append_many([frame])[0]
 
     def append_many(self, frame_list: list[fr.Frame]) -> list[int]:
         """Seal (one batched signing pass) and append a burst of frames."""
@@ -167,23 +209,97 @@ class SegmentedLog:
 
     def append_encoded(self, encoded: list[bytes],
                        kinds: list[int]) -> list[int]:
-        """Append pre-sealed frames; returns absolute start offsets."""
-        registry = get_registry()
-        offsets = []
-        for data, kind in zip(encoded, kinds):
-            handle = self._writable(len(data))
+        """Append pre-sealed frames; returns absolute start offsets.
+
+        ``flush="frame"`` (the conservative default) writes and flushes
+        every frame individually.  ``flush="group"`` coalesces frames in
+        a pending buffer that lands as **one** OS write + **one** flush
+        when it reaches ``group_bytes``, when the oldest pending byte is
+        older than ``group_latency_s``, when a segment rolls, or at
+        :meth:`commit`/:meth:`scan`/:meth:`close` time -- a burst of
+        frames costs one syscall pair instead of one per frame.
+        """
+        grouped = self.flush == "group"
+        offsets: list[int] = []
+        total = self.total_bytes        # running log end; rolls keep it
+        sizes = [len(data) for data in encoded]
+        flushes = 0
+        position, count = 0, len(encoded)
+        while position < count:
+            handle = self._writable(sizes[position])
             index, size = self._segments[-1]
-            offsets.append(self.total_bytes)  # frame starts at the log end
-            handle.write(data)
-            handle.flush()
-            self._segments[-1] = (index, size + len(data))
-            registry.counter("store.bytes_appended").inc(len(data))
+            if grouped:
+                if not self._pending:
+                    self._pending_since = time.perf_counter()
+                # Take the longest run of frames that fits the current
+                # segment and land it as ONE buffer extension -- the
+                # coalescing path does no per-frame write bookkeeping.
+                run, seg_size = position, size
+                while run < count:
+                    step = sizes[run]
+                    if seg_size and seg_size + step > self.segment_bytes:
+                        break
+                    seg_size += step
+                    run += 1
+                run_bytes = seg_size - size
+                self._pending += b"".join(encoded[position:run])
+                # Frame start offsets: a prefix-sum off the log end.
+                offsets.extend(islice(
+                    accumulate(sizes[position:run], initial=total),
+                    run - position))
+                total += run_bytes
+                self._segments[-1] = (index, seg_size)
+                position = run
+                if len(self._pending) >= self.group_bytes:
+                    self.commit()
+            else:
+                handle.write(encoded[position])
+                handle.flush()
+                flushes += 1
+                step = sizes[position]
+                self._segments[-1] = (index, size + step)
+                offsets.append(total)   # frame starts at the log end
+                total += step
+                position += 1
+        registry = get_registry()
+        if flushes:
+            registry.counter("store.log.fsyncs").inc(flushes)
+        registry.counter("store.bytes_appended").inc(sum(sizes))
+        for kind, kind_count in Counter(kinds).items():
             registry.counter("store.frames_sealed",
-                             kind=fr.KIND_NAMES[kind]).inc()
+                             kind=fr.KIND_NAMES[kind]).inc(kind_count)
+        if grouped and self._pending and (
+                time.perf_counter() - self._pending_since
+                >= self.group_latency_s):
+            self.commit()
         return offsets
 
+    def commit(self) -> int:
+        """Land the coalesced pending frames: one write, one flush.
+
+        Returns the bytes flushed (0 when nothing is pending -- always
+        the case under ``flush="frame"``, where appends flush eagerly).
+        """
+        if not self._pending:
+            return 0
+        handle = self._handle
+        if handle is None:     # pending implies an open handle; be safe
+            handle = self._handle = open(
+                self._path(self._handle_index), "ab")
+        flushed = len(self._pending)
+        handle.write(self._pending)
+        handle.flush()
+        self._pending = bytearray()
+        self._pending_since = None
+        registry = get_registry()
+        registry.counter("store.log.group_commits").inc()
+        registry.counter("store.log.fsyncs").inc()
+        registry.counter("store.log.group_bytes").inc(flushed)
+        return flushed
+
     def close(self) -> None:
-        """Flush and close the active segment handle."""
+        """Commit pending frames, then flush and close the segment handle."""
+        self.commit()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -193,82 +309,29 @@ class SegmentedLog:
     # Certification scan
     # ------------------------------------------------------------------
 
-    def scan(self, trusted_bytes: int = 0) -> ScanResult:
+    def scan(self, trusted_bytes: int = 0,
+             verify_workers: int | None = None,
+             on_frames=None) -> ScanResult:
         """Parse and certify the whole log (see the module docstring).
 
         Frames ending at or before ``trusted_bytes`` are structurally
         parsed but their seals are *not* re-verified -- recovery passes
         the checkpoint position here in ``verify="tail"`` mode, trusting
         the state the sealed checkpoint already certifies.
-        """
-        from ..sig.engine import get_batch_signer
 
-        seal_bytes = self.scheme.scheme_id.signature_bytes
-        candidates: list[tuple[fr.Frame, int, int, memoryview, memoryview]] = []
-        regions: list[CorruptRegion] = []
-        base = 0
-        for index, size in self._segments:
-            buffer = self._path(index).read_bytes() if size else b""
-            # Zero-copy certification: bodies, seals and frame payloads
-            # are views into the segment read; nothing is re-sliced into
-            # owned bytes on the scan path.
-            view = memoryview(buffer)
-            offset = 0
-            while offset < len(buffer):
-                parsed = fr.parse_at(buffer, offset, seal_bytes, copy=False)
-                if parsed is not None:
-                    frame, end, body_end = parsed
-                    candidates.append((
-                        frame, base + offset, base + end,
-                        view[offset:body_end], view[body_end:end],
-                    ))
-                    offset = end
-                    continue
-                # Resync: find the next offset where a frame parses.
-                bad_start = offset
-                resync = None
-                probe = buffer.find(fr.MAGIC, offset + 1)
-                while probe != -1:
-                    if fr.parse_at(buffer, probe, seal_bytes) is not None:
-                        resync = probe
-                        break
-                    probe = buffer.find(fr.MAGIC, probe + 1)
-                stop = resync if resync is not None else len(buffer)
-                regions.append(CorruptRegion(base + bad_start, base + stop,
-                                             "garbage"))
-                offset = stop
-            base += size
-        # Batch-verify every untrusted candidate's seal in one pass; the
-        # concat lane lands all bodies once, symbol-aligned, instead of
-        # signing (frequently odd-length) bodies one coercion at a time.
-        unverified = [c for c in candidates if c[2] > trusted_bytes]
-        seals = get_batch_signer(self.scheme).sign_concat_many(
-            [[c[3]] for c in unverified], strict=False,
-        ) if unverified else []
-        good_seal = {id(c): seal.to_bytes() == c[4]
-                     for c, seal in zip(unverified, seals)}
-        valid: list[ScannedFrame] = []
-        last_seq = -1
-        for candidate in candidates:
-            frame, start, end, _body, _seal = candidate
-            if not good_seal.get(id(candidate), True):
-                regions.append(CorruptRegion(start, end, "seal", frame))
-                continue
-            if frame.seq <= last_seq:
-                regions.append(CorruptRegion(start, end, "stale_seq", frame))
-                continue
-            last_seq = frame.seq
-            valid.append(ScannedFrame(frame, start, end))
-        # Everything after the last valid frame is the torn tail: a torn
-        # write and trailing garbage are indistinguishable, so the
-        # durable state ends at the last certified frame.
-        total = self.total_bytes
-        certified_end = valid[-1].end if valid else 0
-        torn_start = certified_end if certified_end < total else None
-        if torn_start is not None:
-            regions = [r for r in regions if r.start < torn_start]
-        regions.sort(key=lambda region: region.start)
-        return ScanResult(valid, regions, torn_start, total)
+        ``verify_workers`` shards seal verification by segment across
+        worker processes (:mod:`repro.store.recovery`); the default
+        resolves ``REPRO_RECOVERY_WORKERS`` / ``REPRO_SIGN_WORKERS``
+        and stays in-process for small logs.  The result is
+        byte-identical for any worker count.  ``on_frames`` streams
+        each segment's certified frames to the caller as soon as its
+        verdict lands (the pipelined-replay hook).
+        """
+        from .recovery import scan_log
+
+        self.commit()          # the scan reads files, not buffers
+        return scan_log(self, trusted_bytes=trusted_bytes,
+                        verify_workers=verify_workers, on_frames=on_frames)
 
     # ------------------------------------------------------------------
     # Truncation and fault injection

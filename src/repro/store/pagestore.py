@@ -50,7 +50,7 @@ from pathlib import Path
 from ..errors import StoreError
 from ..obs import get_registry, span_if_active
 from ..sig.compound import SignatureMap
-from ..sig.engine import get_batch_signer
+from ..sig.engine import BatchSigner, get_batch_signer
 from ..sig.incremental import IncrementalSignatureMap, WriteJournal
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.signature import Signature
@@ -58,7 +58,8 @@ from ..sig.tree import SignatureTree
 from ..sync.replica import Replica
 from . import checkpoint as ckpt
 from . import frames as fr
-from .log import SEGMENT_BYTES, ScanResult, SegmentedLog
+from .log import (GROUP_BYTES, GROUP_LATENCY_S, SEGMENT_BYTES, ScanResult,
+                  SegmentedLog)
 
 DEFAULT_PAGE_BYTES = 4096
 
@@ -118,11 +119,17 @@ class PageStore:
                  segment_bytes: int = SEGMENT_BYTES,
                  checkpoint_every: int | None = None,
                  fanout: int = 16,
+                 flush: str = "frame",
+                 group_bytes: int = GROUP_BYTES,
+                 group_latency_s: float = GROUP_LATENCY_S,
+                 verify_workers: int | None = None,
                  _adopt_log: SegmentedLog | None = None):
         self.scheme = scheme
         self.directory = Path(directory)
         self.fanout = fanout
         self.checkpoint_every = checkpoint_every
+        self.verify_workers = verify_workers
+        self._worker_signer: BatchSigner | None = None
         self._volumes: dict[str, _Volume] = {}
         self._warm_from_checkpoint: set[str] = set()
         self._next_seq = 0
@@ -130,7 +137,9 @@ class PageStore:
         if _adopt_log is not None:
             self._log = _adopt_log
         else:
-            self._log = SegmentedLog(self.directory, scheme, segment_bytes)
+            self._log = SegmentedLog(self.directory, scheme, segment_bytes,
+                                     flush=flush, group_bytes=group_bytes,
+                                     group_latency_s=group_latency_s)
             if self._log.total_bytes:
                 raise StoreError(
                     f"{self.directory} already holds a log; open it with "
@@ -225,11 +234,13 @@ class PageStore:
         return seq
 
     def _append(self, frame_list: list[fr.Frame]) -> list[int]:
-        """Log a burst of frames, apply them, maybe checkpoint."""
-        offsets = (self._log.append(frame_list[0]) if len(frame_list) == 1
-                   else self._log.append_many(frame_list))
-        if isinstance(offsets, int):
-            offsets = [offsets]
+        """Log a burst of frames, apply them, maybe checkpoint.
+
+        Single frames and bursts ride the same encode-many seal lane;
+        under ``flush="group"`` the whole burst lands as one OS write +
+        one flush instead of one pair per frame.
+        """
+        offsets = self._log.append_many(frame_list)
         for frame in frame_list:
             self._apply(frame)
         self._frames_since_checkpoint += len(frame_list)
@@ -355,8 +366,12 @@ class PageStore:
                          fr.encode_truncate(image_len, state.page_bytes))
         return self._append([frame])[0]
 
+    def commit(self) -> int:
+        """Force any group-coalesced frames to disk; returns bytes landed."""
+        return self._log.commit()
+
     def close(self) -> None:
-        """Flush and release the log's file handle."""
+        """Commit pending frames, flush and release the log's handle."""
         self._log.close()
 
     # ------------------------------------------------------------------
@@ -435,14 +450,32 @@ class PageStore:
     # Scrub (Proposition 5 localization)
     # ------------------------------------------------------------------
 
+    def _scrub_signer(self) -> BatchSigner:
+        """The signer scrub re-renders pages through.
+
+        With ``verify_workers > 1`` pages are re-signed across the
+        process backend (the shared-arena lane); otherwise the shared
+        in-process signer is used.  The worker signer is built lazily
+        and cached -- scrubs during one recovery share a pool.
+        """
+        workers = self.verify_workers
+        if workers is not None and workers > 1:
+            if self._worker_signer is None:
+                self._worker_signer = BatchSigner(
+                    self.scheme, workers=workers, backend="process")
+            return self._worker_signer
+        return get_batch_signer(self.scheme)
+
     def scrub(self, volume: str) -> ScrubReport:
         """Compare certified signature state against materialized bytes.
 
-        Re-signs the volume through the batch engine, diffs the warm
-        (certified) tree against the re-signed one, and condemns the
-        differing pages.  Afterwards the warm map/tree are reset to the
-        materialized content, so the certified *expected* signatures of
-        condemned pages survive only in the returned report.
+        Re-signs the volume through the batch engine (across worker
+        processes when the store was opened with ``verify_workers``),
+        diffs the warm (certified) tree against the re-signed one, and
+        condemns the differing pages.  Afterwards the warm map/tree are
+        reset to the materialized content, so the certified *expected*
+        signatures of condemned pages survive only in the returned
+        report.
         """
         with span_if_active("store.scrub", volume=volume) as span:
             state = self._require(volume)
@@ -451,7 +484,7 @@ class PageStore:
             fanout = replica._tree.fanout if replica._tree is not None \
                 else self.fanout
             expected_tree = replica.signature_tree(fanout)
-            actual_map = get_batch_signer(self.scheme).sign_map(
+            actual_map = self._scrub_signer().sign_map(
                 bytes(replica.data), replica.page_symbols
             )
             actual_tree = SignatureTree.from_map(actual_map, fanout)
@@ -502,33 +535,56 @@ class PageStore:
                 checkpoint_every: int | None = None,
                 fanout: int = 16,
                 use_checkpoint: bool = True,
-                verify: str = "full") -> tuple["PageStore", RecoveryReport]:
+                verify: str = "full",
+                verify_workers: int | None = None,
+                flush: str = "frame",
+                group_bytes: int = GROUP_BYTES,
+                group_latency_s: float = GROUP_LATENCY_S
+                ) -> tuple["PageStore", RecoveryReport]:
         """Open an existing store by certified recovery.
 
         ``verify="full"`` checks every frame seal; ``verify="tail"``
         trusts the sealed checkpoint for the prefix it covers and
         verifies only the tail's seals -- the fast production path,
         with :meth:`scrub` available for deep audits.
+
+        ``verify_workers`` shards seal verification by segment across
+        worker processes and is remembered on the opened store (scrub
+        re-renders pages through the same fleet); the default resolves
+        ``REPRO_RECOVERY_WORKERS`` / ``REPRO_SIGN_WORKERS`` and stays
+        in-process for small logs.  Replay is *pipelined* either way:
+        certified frames apply as each segment's verdict lands, while
+        later segments are still being read and verified.
         """
         if verify not in ("full", "tail"):
             raise StoreError(f"unknown verify mode {verify!r}")
         started = time.perf_counter()
         registry = get_registry()
         directory = Path(directory)
-        snapshot = ckpt.load(directory, scheme) if use_checkpoint else None
-        log = SegmentedLog(directory, scheme, segment_bytes)
-        trusted = snapshot.position if (snapshot is not None
-                                        and verify == "tail") else 0
-        scan = log.scan(trusted_bytes=trusted)
-        if snapshot is not None and snapshot.position > scan.certified_end:
-            # The checkpoint describes state the torn tail took with it.
-            snapshot = None
-            if trusted:
-                scan = log.scan(trusted_bytes=0)
-        store = cls(scheme, directory, segment_bytes=segment_bytes,
-                    checkpoint_every=None, fanout=fanout, _adopt_log=log)
-        report = store._recover_into(scan, snapshot, registry)
-        store.checkpoint_every = checkpoint_every
+        with span_if_active("store.recover", verify=verify):
+            snapshot = ckpt.load(directory, scheme) if use_checkpoint \
+                else None
+            log = SegmentedLog(directory, scheme, segment_bytes,
+                               flush=flush, group_bytes=group_bytes,
+                               group_latency_s=group_latency_s)
+            trusted = snapshot.position if (snapshot is not None
+                                            and verify == "tail") else 0
+            store, scan, replay = cls._certified_replay(
+                scheme, directory, fanout, log, snapshot, trusted,
+                verify_workers)
+            if (snapshot is not None
+                    and snapshot.position > scan.certified_end):
+                # The checkpoint describes state the torn tail took with
+                # it: restart cold on a fresh store (the streamed replay
+                # above ran under assumptions the snapshot no longer
+                # justifies).
+                snapshot = None
+                store, scan, replay = cls._certified_replay(
+                    scheme, directory, fanout, log, None, 0,
+                    verify_workers)
+            report = store._finish_recovery(scan, snapshot, replay,
+                                            registry)
+            store.checkpoint_every = checkpoint_every
         seconds = time.perf_counter() - started
         registry.counter("store.recoveries").inc()
         registry.histogram("store.recovery_seconds").observe(seconds)
@@ -544,11 +600,25 @@ class PageStore:
         )
         return store, report
 
-    def _recover_into(self, scan: ScanResult,
-                      snapshot: ckpt.Checkpoint | None,
-                      registry) -> RecoveryReport:
-        """Replay a certified scan into this (empty) store's volumes."""
-        position = snapshot.position if snapshot is not None else 0
+    @classmethod
+    def _certified_replay(cls, scheme, directory, fanout, log, snapshot,
+                          trusted, verify_workers):
+        """One scan-and-replay pass: certify + apply, overlapped."""
+        store = cls(scheme, directory, checkpoint_every=None,
+                    fanout=fanout, verify_workers=verify_workers,
+                    _adopt_log=log)
+        replay = _StreamingReplay(store, snapshot)
+        scan = log.scan(trusted_bytes=trusted,
+                        verify_workers=verify_workers,
+                        on_frames=replay.feed)
+        return store, scan, replay
+
+    def _finish_recovery(self, scan: ScanResult,
+                         snapshot: ckpt.Checkpoint | None,
+                         replay: "_StreamingReplay",
+                         registry) -> RecoveryReport:
+        """Seal a streamed replay: truncate, warm, renumber, condemn."""
+        replay.finish()
         if scan.torn_bytes:
             registry.counter("store.torn_writes_detected").inc()
             registry.counter("store.torn_bytes").inc(scan.torn_bytes)
@@ -556,29 +626,6 @@ class PageStore:
         registry.counter("store.corrupt_frames_detected").inc(
             len(scan.corrupt)
         )
-        # 1. Replay the checkpointed prefix cold: plain byte application
-        #    through unwarmed replicas -- no signature work at all.
-        pre = [sf for sf in scan.frames if sf.end <= position]
-        post = [sf for sf in scan.frames if sf.end > position]
-        bytes_replayed = 0
-        for scanned in pre:
-            self._apply(scanned.frame)
-            bytes_replayed += len(scanned.frame.payload)
-        # 2. Seed the certified warm state over the replayed images.
-        if snapshot is not None:
-            for name, volume_ckpt in snapshot.volumes.items():
-                state = self._materialize(name, volume_ckpt.page_bytes)
-                state.replica = Replica.from_warm(
-                    f"store:{name}", self.scheme,
-                    bytes(state.replica.data), volume_ckpt.page_bytes,
-                    volume_ckpt.map, volume_ckpt.tree,
-                )
-                self._warm_from_checkpoint.add(name)
-        # 3. Fold the tail: journaled application, one batched
-        #    Proposition-3 pass per volume when the maps are read.
-        for scanned in post:
-            self._apply(scanned.frame)
-            bytes_replayed += len(scanned.frame.payload)
         registry.counter("store.frames_replayed").inc(len(scan.frames))
         for name in self._volumes:
             self.signature_map(name)
@@ -586,18 +633,21 @@ class PageStore:
             [snapshot.next_seq if snapshot is not None else 0]
             + [sf.frame.seq + 1 for sf in scan.frames]
         )
-        # 4. Condemnation: headers of rejected frames point at pages
-        #    (best effort), the Proposition-5 scrub certifies pre-tail
-        #    damage, later full-page writes exonerate.
+        # Condemnation: headers of rejected frames point at pages
+        # (best effort), the Proposition-5 scrub certifies pre-tail
+        # damage, later full-page writes exonerate.
         condemned, expected = self._condemn(scan)
         return RecoveryReport(
             seconds=0.0, used_checkpoint=snapshot is not None,
-            frames_valid=len(scan.frames), frames_folded=len(post),
-            bytes_replayed=bytes_replayed, torn_bytes=scan.torn_bytes,
+            frames_valid=len(scan.frames),
+            frames_folded=replay.frames_folded,
+            bytes_replayed=replay.bytes_replayed,
+            torn_bytes=scan.torn_bytes,
             corrupt_frames=len(scan.corrupt),
             condemned=condemned, expected=expected,
             volumes=tuple(self.volumes()), log_bytes=self._log.total_bytes,
         )
+
 
     def _condemn(self, scan: ScanResult) -> tuple[
             dict[str, tuple[int, ...]], dict[str, dict[int, Signature]]]:
@@ -677,3 +727,63 @@ class PageStore:
         expected = {volume: pages for volume, pages in expected.items()
                     if pages}
         return result, expected
+
+
+class _StreamingReplay:
+    """Applies certified frames as their segment verdicts land.
+
+    The pipelined half of recovery: :func:`repro.store.recovery.
+    scan_log` streams each segment's certified frames through
+    :meth:`feed` while later segments are still being read and
+    verified, so segment I/O, seal verification and ``Replica``
+    application overlap instead of serializing.  Apply-during-scan is
+    safe because the certified prefix is monotone -- a later segment
+    can never invalidate an earlier certified frame.
+
+    Frames ending at or before the checkpoint position replay *cold*
+    (plain byte application, no signature work); crossing the position
+    seeds the certified warm map/tree over the replayed images; frames
+    after it fold through the Proposition-3 incremental plane -- the
+    same three phases the sequential recovery always ran, folded into
+    one streaming pass.
+    """
+
+    __slots__ = ("store", "snapshot", "position", "seeded",
+                 "bytes_replayed", "frames_folded")
+
+    def __init__(self, store: PageStore, snapshot):
+        self.store = store
+        self.snapshot = snapshot
+        self.position = snapshot.position if snapshot is not None else 0
+        self.seeded = snapshot is None
+        self.bytes_replayed = 0
+        self.frames_folded = 0
+
+    def feed(self, scanned_frames) -> None:
+        """Apply one segment's certified frames (in log order)."""
+        store = self.store
+        for scanned in scanned_frames:
+            if not self.seeded and scanned.end > self.position:
+                self._seed()
+            store._apply(scanned.frame)
+            self.bytes_replayed += len(scanned.frame.payload)
+            if scanned.end > self.position:
+                self.frames_folded += 1
+
+    def _seed(self) -> None:
+        """Seed the certified warm state over the replayed images."""
+        store, snapshot = self.store, self.snapshot
+        for name, volume_ckpt in snapshot.volumes.items():
+            state = store._materialize(name, volume_ckpt.page_bytes)
+            state.replica = Replica.from_warm(
+                f"store:{name}", store.scheme,
+                bytes(state.replica.data), volume_ckpt.page_bytes,
+                volume_ckpt.map, volume_ckpt.tree,
+            )
+            store._warm_from_checkpoint.add(name)
+        self.seeded = True
+
+    def finish(self) -> None:
+        """Seed the warm state even when no frame followed the position."""
+        if not self.seeded:
+            self._seed()

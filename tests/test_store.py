@@ -129,8 +129,11 @@ class TestSegmentedLog:
         assert not scan.corrupt and scan.torn_start is None
         assert scan.certified_end == log.total_bytes
 
-    def test_segments_roll_and_positions_stay_absolute(self, tmp_path):
-        log = SegmentedLog(tmp_path, SCHEME, segment_bytes=4096)
+    @pytest.mark.parametrize("flush", ["frame", "group"])
+    def test_segments_roll_and_positions_stay_absolute(self, tmp_path,
+                                                       flush):
+        log = SegmentedLog(tmp_path, SCHEME, segment_bytes=4096,
+                           flush=flush)
         for seq in range(80):
             log.append(_page_frame(seq, seq, seq % 251))
         assert log.segment_count > 1
