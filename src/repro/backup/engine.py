@@ -17,12 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import BackupError
+from ..errors import BackupError, SignatureError
 from ..obs import get_registry
 from ..sdds.bucket import Bucket
 from ..sig.compound import SignatureMap
 from ..sig.engine import BatchSigner
 from ..sig.incremental import IncrementalSignatureMap, WriteJournal
+from ..sig.locate import LocateDesign, LocatorMap, decode
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.tree import SignatureTree
 from ..sim.disk import SimDisk
@@ -352,12 +353,20 @@ class BackupEngine:
                 )
         return self.disk.read_volume(volume)
 
-    def scrub(self, volume: str) -> list[int]:
+    def scrub(self, volume: str,
+              design: LocateDesign | None = None) -> list[int]:
         """Verify every disk page of a volume against its map entry.
 
         Returns the indices of corrupted pages (signature mismatch);
         an empty list certifies the disk copy with confidence 1 - 2^-nf
         per page, and with certainty against any <= n-symbol rot.
+
+        With a ``design``, condemnation goes through the same
+        d-cover-free locator as :meth:`repro.store.PageStore.scrub`:
+        the per-page comparison is replaced by a
+        :func:`~repro.sig.locate.decode` over ``design.group_count``
+        aggregates, falling back to the flat comparison on overflow or
+        when the disk copy does not cover the map exactly.
         """
         if volume not in self._maps:
             raise BackupError(f"volume {volume!r} was never backed up")
@@ -369,11 +378,31 @@ class BackupEngine:
         pages = [self.disk.read_page(volume, index) for index in indices]
         signatures = self._signer.sign_many(pages, strict=False)
         scanned = len(indices)
-        corrupted = [
-            index for index, signature in zip(indices, signatures)
-            if signature != signature_map[index]
-        ]
         registry = get_registry()
+        corrupted: list[int] | None = None
+        if design is not None and indices == list(range(
+                signature_map.page_count)):
+            actual_map = SignatureMap(
+                self.scheme, signature_map.page_symbols,
+                list(signatures), signature_map.total_symbols,
+            )
+            registry.counter("backup.locate.scrubs").inc()
+            try:
+                verdict = decode(
+                    LocatorMap.from_map(design, signature_map),
+                    LocatorMap.from_map(design, actual_map),
+                )
+            except SignatureError:
+                verdict = None
+            if verdict is not None and not verdict.overflowed:
+                corrupted = list(verdict.pages)
+            else:
+                registry.counter("backup.locate.overflows").inc()
+        if corrupted is None:
+            corrupted = [
+                index for index, signature in zip(indices, signatures)
+                if signature != signature_map[index]
+            ]
         registry.counter("backup.scrub_pages").inc(scanned)
         registry.counter("backup.scrub_corrupt").inc(len(corrupted))
         return corrupted

@@ -96,6 +96,20 @@ segment files at identical offsets; the grouped path must then reach
 least :data:`GROUP_MIN_BURST` frames -- enforced on every host, since
 coalescing syscalls needs no extra cores.
 
+The ``locate`` block (schema v8) is the corruption-localization cost
+sweep (:mod:`repro.sig.locate`): volumes growing to ~1M pages carry
+``d`` scattered rot events, and three audit paths must name the
+damaged pages -- a full per-page map rescan, a signature-tree walk,
+and the d-cover-free group-testing locator decode.  Exactness is
+enforced before any timing: every trial with damage <= d must locate
+*exactly* the injected set, and an over-budget trial must surface
+``OVERFLOW`` rather than a wrong answer.  Signature state held and
+signature bytes exchanged during an anti-entropy pass are recorded per
+path (deterministic -- bytes, not seconds), and the harness fails
+unless the locator moves at least :data:`LOCATE_MIN_REDUCTION` x fewer
+signature bytes than the per-page map at d=4 from
+:data:`LOCATE_MIN_REDUCTION_PAGES` pages up.
+
 Both production-strength schemes are measured: GF(2^16) n=2 and
 GF(2^8) n=4 (equal 4-byte signatures).  Every path's output is checked
 byte-identical against ``scheme.sign`` before its timing is reported --
@@ -110,6 +124,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import tempfile
 import time
 from pathlib import Path
@@ -120,12 +135,16 @@ from .errors import ReproError
 from .gf.vectorized import batch_signature_matrix, delta_signature_matrix
 from .sig import (LEDGER, BatchSigner, ChunkedSigner,
                   IncrementalSignatureMap, JournalEntry, SignatureMap,
-                  make_scheme, resolve_workers)
+                  SignatureTree, make_scheme, resolve_workers)
+from .sig.engine import get_batch_signer
+from .sig.locate import LOCATED, LocateDesign, LocatorMap, decode
 from .sig.signature import Signature
+from .sim.network import SimNetwork
 from .store import PageStore
+from .sync import Replica, sync_by_locator, sync_by_map, sync_by_tree
 
 #: Document schema tag; bump on any shape change.
-SCHEMA = "repro.bench/batch-engine/v7"
+SCHEMA = "repro.bench/batch-engine/v8"
 
 PAGE_BYTES = 64 * 1024
 SEED = 20040301          # ICDE 2004 -- the paper's venue
@@ -208,6 +227,21 @@ GROUP_FRAMES_QUICK = 256
 GROUP_BURSTS = (1, 8, 32, 128)
 GROUP_MIN_SPEEDUP = 2.0
 GROUP_MIN_BURST = 32
+
+#: Localization-cost sweep (schema v8): small pages so the top volume
+#: reaches ~1M pages in a 16 MiB image; ``d`` scattered rot events per
+#: trial; per-page map / tree walk / locator decode must all name the
+#: damaged pages before anything is timed.  The locator's reduction in
+#: signature bytes (state held and exchanged in anti-entropy) vs the
+#: per-page map is enforced from LOCATE_MIN_REDUCTION_PAGES up.
+LOCATE_PAGE_BYTES = 16
+LOCATE_D = 4
+LOCATE_FANOUT = 16
+LOCATE_TRIALS = 3
+LOCATE_VOLUMES = (4096, 65536, 1 << 20)
+LOCATE_VOLUMES_QUICK = (4096, 65536)
+LOCATE_MIN_REDUCTION = 4.0
+LOCATE_MIN_REDUCTION_PAGES = 65536
 
 
 class BenchError(ReproError):
@@ -955,6 +989,160 @@ def _bench_group_commit(quick: bool, repeats: int) -> dict:
     }
 
 
+def _bench_locate(quick: bool, repeats: int) -> dict:
+    """Localization-cost sweep: map rescan vs tree walk vs locator."""
+    scheme = make_scheme()
+    signer = get_batch_signer(scheme)
+    page_symbols = LOCATE_PAGE_BYTES // scheme.scheme_id.symbol_bytes
+    sig_bytes = scheme.scheme_id.signature_bytes
+    volumes = LOCATE_VOLUMES_QUICK if quick else LOCATE_VOLUMES
+    rows = []
+    for count in volumes:
+        image = np.random.RandomState((SEED ^ count) & 0xFFFFFFFF).bytes(
+            count * LOCATE_PAGE_BYTES
+        )
+        design = LocateDesign.build(count, LOCATE_D, SEED)
+        expected_map = signer.sign_map(image, page_symbols)
+        expected_tree = SignatureTree.from_map(expected_map, LOCATE_FANOUT)
+        expected_locator = LocatorMap.from_map(design, expected_map)
+        rng = random.Random(SEED + count)
+        # Exactness first: every <= d trial must certify the injected
+        # set precisely, or the harness fails before timing anything.
+        damage: list[int] = []
+        rotted = bytearray(image)
+        for _ in range(LOCATE_TRIALS):
+            damage = sorted(rng.sample(range(count), LOCATE_D))
+            rotted = bytearray(image)
+            for page in damage:
+                offset = (page * LOCATE_PAGE_BYTES
+                          + rng.randrange(LOCATE_PAGE_BYTES))
+                rotted[offset] ^= rng.randint(1, 255)
+            actual_map = signer.sign_map(bytes(rotted), page_symbols)
+            verdict = decode(expected_locator,
+                             LocatorMap.from_map(design, actual_map))
+            if verdict.status != LOCATED or list(verdict.pages) != damage:
+                raise BenchError(
+                    f"locate missed at {count} pages: injected {damage}, "
+                    f"got {verdict.status} {list(verdict.pages)}"
+                )
+        # Over-budget guard: 3d damaged pages must overflow to the
+        # per-page fallback (or still be exactly right) -- a silently
+        # wrong page set fails the harness.
+        over_damage = sorted(rng.sample(range(count), 3 * LOCATE_D))
+        over = bytearray(image)
+        for page in over_damage:
+            over[page * LOCATE_PAGE_BYTES] ^= 0x80
+        over_map = signer.sign_map(bytes(over), page_symbols)
+        over_verdict = decode(expected_locator,
+                              LocatorMap.from_map(design, over_map))
+        if over_verdict.status == LOCATED \
+                and list(over_verdict.pages) != over_damage:
+            raise BenchError(
+                f"locate mislocated over-budget damage at {count} pages"
+            )
+
+        # Timed audits: certified warm state vs the last trial's rotted
+        # bytes; each path re-signs the image (the unavoidable cost) and
+        # then localizes through its own structure.
+        frozen = bytes(rotted)
+
+        def audit_rescan() -> list[int]:
+            actual = signer.sign_map(frozen, page_symbols)
+            return expected_map.changed_pages(actual)
+
+        def audit_tree() -> list[int]:
+            actual = signer.sign_map(frozen, page_symbols)
+            tree = SignatureTree.from_map(actual, LOCATE_FANOUT)
+            return sorted(expected_tree.diff(tree).changed_leaves)
+
+        def audit_locator() -> list[int]:
+            actual = signer.sign_map(frozen, page_symbols)
+            verdict = decode(expected_locator,
+                             LocatorMap.from_map(design, actual))
+            return sorted(verdict.pages)
+
+        audits = (("map_rescan", audit_rescan), ("tree_walk", audit_tree),
+                  ("locator", audit_locator))
+        results = []
+        for path, audit in audits:
+            located = audit()
+            if sorted(located) != damage:
+                raise BenchError(
+                    f"{path} missed at {count} pages: {located} != {damage}"
+                )
+            seconds = max(min(_time_once(audit)
+                              for _ in range(repeats)), 1e-9)
+            results.append({
+                "path": path,
+                "seconds": round(seconds, 6),
+                "pages_per_s": round(count / seconds, 1),
+            })
+
+        # Anti-entropy exchange: reconcile a replica diverged at the
+        # same d pages under each protocol; signature traffic is
+        # deterministic (bytes, not seconds).
+        network = SimNetwork()
+        source = Replica("bench-src", scheme, image, LOCATE_PAGE_BYTES)
+        exchange = {}
+        protocols = (
+            ("map", sync_by_map),
+            ("tree", sync_by_tree),
+            ("locator", lambda s, t, n: sync_by_locator(
+                s, t, n, d=LOCATE_D, seed=SEED)),
+        )
+        for name, protocol in protocols:
+            target = Replica("bench-tgt", scheme, frozen, LOCATE_PAGE_BYTES)
+            report = protocol(source, target, network)
+            if bytes(target.data) != image:
+                raise BenchError(f"{name} sync failed to converge")
+            exchange[name] = report.signature_bytes
+
+        tree_nodes = sum(len(level) for level in expected_tree.levels)
+        state = {
+            "map": count * sig_bytes,
+            "tree": tree_nodes * sig_bytes,
+            "locator": expected_locator.locator_bytes,
+        }
+        reductions = {
+            "state": round(state["map"] / state["locator"], 2),
+            "exchange": round(exchange["map"] / exchange["locator"], 2),
+        }
+        if count >= LOCATE_MIN_REDUCTION_PAGES:
+            for axis, reduction in reductions.items():
+                if reduction < LOCATE_MIN_REDUCTION:
+                    raise BenchError(
+                        f"locator {axis} reduction {reduction:.2f}x at "
+                        f"{count} pages below the bound "
+                        f"{LOCATE_MIN_REDUCTION:g}x"
+                    )
+        rows.append({
+            "pages": count,
+            "design": design.describe(),
+            "state_bytes": state,
+            "exchange_signature_bytes": exchange,
+            "reductions": reductions,
+            "results": results,
+        })
+    return {
+        "page_bytes": LOCATE_PAGE_BYTES,
+        "d": LOCATE_D,
+        "fanout": LOCATE_FANOUT,
+        "trials": LOCATE_TRIALS,
+        "exact": True,          # every <= d trial located precisely
+        "overflow_safe": True,  # over-budget trials never mislocated
+        "min_reduction": LOCATE_MIN_REDUCTION,
+        "min_reduction_pages": LOCATE_MIN_REDUCTION_PAGES,
+        "target_enforced": True,
+        "volumes": rows,
+    }
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
 def run(quick: bool = False, workers: int = WORKERS) -> dict:
     """Run the harness; returns the JSON-able benchmark document."""
     page_count = 8 if quick else 48
@@ -1031,6 +1219,16 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
                 "min_speedup": GROUP_MIN_SPEEDUP,
                 "min_burst": GROUP_MIN_BURST,
             },
+            "locate": {
+                "page_bytes": LOCATE_PAGE_BYTES,
+                "d": LOCATE_D,
+                "fanout": LOCATE_FANOUT,
+                "trials": LOCATE_TRIALS,
+                "volumes": list(LOCATE_VOLUMES_QUICK if quick
+                                else LOCATE_VOLUMES),
+                "min_reduction": LOCATE_MIN_REDUCTION,
+                "min_reduction_pages": LOCATE_MIN_REDUCTION_PAGES,
+            },
         },
         "fields": [
             _bench_field(f, n, pages, scalar_pages, repeats, workers)
@@ -1040,6 +1238,7 @@ def run(quick: bool = False, workers: int = WORKERS) -> dict:
         "cores": _bench_cores(pages, repeats),
         "recovery": _bench_recovery(quick, repeats),
         "group_commit": _bench_group_commit(quick, repeats),
+        "locate": _bench_locate(quick, repeats),
         "store": _bench_store(store_pages, repeats),
         "obs": _bench_obs(obs_samples, repeats),
         "serve": _bench_serve(quick),

@@ -29,6 +29,9 @@ Sub-modules:
   arenas, plus the copies-per-byte accounting ledger.
 * :mod:`parallel` -- the shared-memory process-pool signing backend
   (``BatchSigner(backend="process")``).
+* :mod:`locate`   -- corruption localization: d-cover-free group-testing
+  designs whose O(d^2 log^2 N) Proposition-5 compound signatures certify
+  *which* <= d pages are damaged.
 """
 
 from .arena import LEDGER, CopyLedger, PageArena, PageView
@@ -57,6 +60,16 @@ from .incremental import (
     JournalEntry,
     WriteJournal,
     aligned_span,
+)
+from .locate import (
+    CLEAN,
+    DEFAULT_D,
+    LOCATED,
+    OVERFLOW,
+    CondemnedSet,
+    LocateDesign,
+    LocatorMap,
+    decode,
 )
 from .multisearch import MultiPatternSearcher
 from .stream import LoggedUpdate, StreamSigner, UpdateLog
@@ -105,6 +118,14 @@ __all__ = [
     "JournalEntry",
     "WriteJournal",
     "aligned_span",
+    "CLEAN",
+    "DEFAULT_D",
+    "LOCATED",
+    "OVERFLOW",
+    "CondemnedSet",
+    "LocateDesign",
+    "LocatorMap",
+    "decode",
     "MultiPatternSearcher",
     "StreamSigner",
     "UpdateLog",

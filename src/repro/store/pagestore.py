@@ -47,11 +47,12 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..errors import StoreError
+from ..errors import SignatureError, StoreError
 from ..obs import get_registry, span_if_active
 from ..sig.compound import SignatureMap
 from ..sig.engine import BatchSigner, get_batch_signer
 from ..sig.incremental import IncrementalSignatureMap, WriteJournal
+from ..sig.locate import LocateDesign, LocatorMap, decode
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.signature import Signature
 from ..sig.tree import SignatureTree
@@ -79,7 +80,15 @@ class ScrubReport:
     volume: str
     condemned: tuple[int, ...]          #: page indices that failed
     expected: dict[int, Signature]      #: certified signatures for them
-    nodes_compared: int                 #: tree comparisons spent
+    nodes_compared: int                 #: tree/group comparisons spent
+    method: str = "tree"                #: "tree", "map" or "locate"
+    overflow: bool = False              #: a locate attempt overflowed
+    #: Condemned pages with *no* certified expected signature -- the
+    #: warm map did not cover them (it described a shorter image than
+    #: the materialized bytes, e.g. a checkpoint that predates growth).
+    #: They are damaged-or-unknown: a consumer must refetch them from
+    #: redundancy rather than verify them against ``expected``.
+    uncovered: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,12 +132,18 @@ class PageStore:
                  group_bytes: int = GROUP_BYTES,
                  group_latency_s: float = GROUP_LATENCY_S,
                  verify_workers: int | None = None,
+                 locate_d: int | None = None,
+                 locate_seed: int = 0,
                  _adopt_log: SegmentedLog | None = None):
         self.scheme = scheme
         self.directory = Path(directory)
         self.fanout = fanout
         self.checkpoint_every = checkpoint_every
         self.verify_workers = verify_workers
+        #: When set, scrubs condemn through a d-cover-free locator
+        #: design (falling back to the tree on overflow) by default.
+        self.locate_d = locate_d
+        self.locate_seed = locate_seed
         self._worker_signer: BatchSigner | None = None
         self._volumes: dict[str, _Volume] = {}
         self._warm_from_checkpoint: set[str] = set()
@@ -466,16 +481,34 @@ class PageStore:
             return self._worker_signer
         return get_batch_signer(self.scheme)
 
-    def scrub(self, volume: str) -> ScrubReport:
+    def _default_design(self, page_count: int) -> LocateDesign | None:
+        """The store's implied locate design, if ``locate_d`` is set."""
+        if self.locate_d is None:
+            return None
+        capacity = 1 << max(0, (page_count - 1).bit_length()) \
+            if page_count else 1
+        return LocateDesign.build(capacity, self.locate_d, self.locate_seed)
+
+    def scrub(self, volume: str,
+              design: LocateDesign | None = None) -> ScrubReport:
         """Compare certified signature state against materialized bytes.
 
         Re-signs the volume through the batch engine (across worker
         processes when the store was opened with ``verify_workers``),
-        diffs the warm (certified) tree against the re-signed one, and
-        condemns the differing pages.  Afterwards the warm map/tree are
-        reset to the materialized content, so the certified *expected*
+        condemns the differing pages, and resets the warm map/tree to
+        the materialized content afterwards -- the certified *expected*
         signatures of condemned pages survive only in the returned
         report.
+
+        With a ``design`` (or a store-level ``locate_d``), condemnation
+        goes through the group-testing locator first: the certified
+        side is summarized into ``design.group_count`` aggregate
+        signatures and :func:`~repro.sig.locate.decode` certifies the
+        <= d damaged pages from the failing groups alone.  An
+        ``OVERFLOW`` decode (damage beyond the budget, or a warm map
+        whose length drifted from the image) falls back to the
+        tree/map comparison and is flagged on the report -- never a
+        silently wrong page set.
         """
         with span_if_active("store.scrub", volume=volume) as span:
             state = self._require(volume)
@@ -488,29 +521,68 @@ class PageStore:
                 bytes(replica.data), replica.page_symbols
             )
             actual_tree = SignatureTree.from_map(actual_map, fanout)
-            if expected_tree.leaf_count == actual_tree.leaf_count:
-                diff = expected_tree.diff(actual_tree)
-                condemned = tuple(diff.changed_leaves)
-                compared = diff.nodes_compared
-            else:  # length drifted: fall back to the flat map comparison
-                condemned = tuple(expected_map.changed_pages(actual_map))
-                compared = max(len(expected_map), len(actual_map))
+            registry = get_registry()
+            if design is None:
+                design = self._default_design(
+                    max(len(expected_map.signatures),
+                        len(actual_map.signatures))
+                )
+            condemned: tuple[int, ...] | None = None
+            compared = 0
+            method = "tree"
+            overflow = False
+            if design is not None:
+                registry.counter("store.locate.scrubs",
+                                 volume=volume).inc()
+                try:
+                    verdict = decode(LocatorMap.from_map(design, expected_map),
+                                     LocatorMap.from_map(design, actual_map))
+                except SignatureError:
+                    verdict = None   # the volume outgrew the design
+                if verdict is not None and not verdict.overflowed:
+                    condemned = verdict.pages
+                    compared = verdict.groups_compared
+                    method = "locate"
+                    registry.counter("store.locate.located").inc(
+                        len(condemned)
+                    )
+                else:
+                    overflow = True
+                    registry.counter("store.locate.overflows").inc()
+            if condemned is None:
+                if expected_tree.leaf_count == actual_tree.leaf_count:
+                    diff = expected_tree.diff(actual_tree)
+                    condemned = tuple(diff.changed_leaves)
+                    compared = diff.nodes_compared
+                    method = "tree"
+                else:  # length drifted: fall back to the flat map comparison
+                    condemned = tuple(expected_map.changed_pages(actual_map))
+                    compared = max(len(expected_map), len(actual_map))
+                    method = "map"
             expected = {
                 index: expected_map.signatures[index]
                 for index in condemned if index < len(expected_map.signatures)
             }
+            uncovered = tuple(
+                index for index in condemned
+                if index >= len(expected_map.signatures)
+            )
+            if uncovered:
+                registry.counter("store.pages_uncovered").inc(len(uncovered))
             if condemned:
                 # Reset warm state to the materialized bytes: from here on
                 # folds track what *is*, the report records what *should be*.
                 replica._incremental = IncrementalSignatureMap(actual_map)
                 replica._tree = actual_tree
                 replica._tree_fanout = fanout
+                replica._locator = None
             if span is not None:
                 span.event("condemned", pages=len(condemned))
-            registry = get_registry()
             registry.counter("store.scrubs", volume=volume).inc()
             registry.counter("store.pages_condemned").inc(len(condemned))
-            return ScrubReport(volume, condemned, expected, compared)
+            return ScrubReport(volume, condemned, expected, compared,
+                               method=method, overflow=overflow,
+                               uncovered=uncovered)
 
     # ------------------------------------------------------------------
     # Fault injection (tests, demos)
@@ -539,7 +611,9 @@ class PageStore:
                 verify_workers: int | None = None,
                 flush: str = "frame",
                 group_bytes: int = GROUP_BYTES,
-                group_latency_s: float = GROUP_LATENCY_S
+                group_latency_s: float = GROUP_LATENCY_S,
+                locate_d: int | None = None,
+                locate_seed: int = 0
                 ) -> tuple["PageStore", RecoveryReport]:
         """Open an existing store by certified recovery.
 
@@ -547,6 +621,11 @@ class PageStore:
         trusts the sealed checkpoint for the prefix it covers and
         verifies only the tail's seals -- the fast production path,
         with :meth:`scrub` available for deep audits.
+
+        ``locate_d`` turns on group-testing condemnation: the scrubs
+        recovery runs to certify condemned pages (and any later
+        :meth:`scrub`) localize damage through a d-cover-free locator
+        design instead of a full tree diff, falling back on overflow.
 
         ``verify_workers`` shards seal verification by segment across
         worker processes and is remembered on the opened store (scrub
@@ -582,6 +661,8 @@ class PageStore:
                 store, scan, replay = cls._certified_replay(
                     scheme, directory, fanout, log, None, 0,
                     verify_workers)
+            store.locate_d = locate_d
+            store.locate_seed = locate_seed
             report = store._finish_recovery(scan, snapshot, replay,
                                             registry)
             store.checkpoint_every = checkpoint_every

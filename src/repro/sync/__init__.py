@@ -3,6 +3,7 @@
 from .replica import (
     Replica,
     SyncReport,
+    sync_by_locator,
     sync_by_map,
     sync_by_tree,
 )
@@ -10,6 +11,7 @@ from .replica import (
 __all__ = [
     "Replica",
     "SyncReport",
+    "sync_by_locator",
     "sync_by_map",
     "sync_by_tree",
 ]

@@ -8,7 +8,7 @@ diverged copies of a byte image; they reconcile by exchanging
 signatures -- never the unchanged data -- over the accounted simulated
 network.
 
-Two protocols, matching the literature's two shapes:
+Three protocols, matching the literature's shapes:
 
 * **map exchange** -- the source ships its whole signature map (4 bytes
   per page); the target compares locally and requests the differing
@@ -18,17 +18,25 @@ Two protocols, matching the literature's two shapes:
   descending only into differing nodes.  O(fanout * log m * changes)
   signature traffic, log-depth round trips -- wins when few pages
   changed in a large file.
+* **locator exchange** -- group-testing localization
+  (:mod:`repro.sig.locate`): the source ships one d-cover-free
+  :class:`~repro.sig.locate.LocatorMap` -- O(d^2 log^2 N) aggregate
+  signatures -- and the target decodes exactly which <= d pages
+  diverged in a single round trip, falling back to the tree probe on
+  :data:`~repro.sig.locate.OVERFLOW`.  Wins when divergence is within
+  the damage budget: constant-ish signature traffic regardless of N.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import ReproError
+from ..errors import ReproError, SignatureError
 from ..obs import get_registry
 from ..sig.compound import SignatureMap
 from ..sig.engine import get_batch_signer
 from ..sig.incremental import IncrementalSignatureMap, aligned_span
+from ..sig.locate import DEFAULT_D, LocateDesign, LocatorMap, decode
 from ..sig.scheme import AlgebraicSignatureScheme
 from ..sig.tree import SignatureTree
 from ..sim.network import SimNetwork
@@ -36,6 +44,7 @@ from ..sim.network import SimNetwork
 #: Message kinds for the traffic accounting.
 MAP_EXCHANGE = "sync_map"
 TREE_LEVEL = "sync_tree_level"
+LOCATOR_EXCHANGE = "sync_locator"
 PAGE_REQUEST = "sync_page_request"
 PAGE_DATA = "sync_page_data"
 
@@ -68,6 +77,7 @@ class Replica:
         self._incremental: IncrementalSignatureMap | None = None
         self._tree: SignatureTree | None = None
         self._tree_fanout: int | None = None
+        self._locator: LocatorMap | None = None
 
     @classmethod
     def from_warm(cls, name: str, scheme: AlgebraicSignatureScheme,
@@ -189,6 +199,7 @@ class Replica:
         self._incremental = None
         self._tree = None
         self._tree_fanout = None
+        self._locator = None
 
     # ------------------------------------------------------------------
     # Signature state
@@ -216,6 +227,20 @@ class Replica:
                 )
             else:
                 self._tree.apply_leaf_deltas(report.leaf_deltas)
+        if self._locator is not None:
+            design = self._locator.design
+            if report.resized:
+                # Length changes move the aggregate offsets' coverage;
+                # rebuild under the same design while it still fits.
+                if len(incremental.map.signatures) \
+                        <= max(1, design.page_capacity):
+                    self._locator = LocatorMap.from_map(
+                        design, incremental.map
+                    )
+                else:
+                    self._locator = None
+            elif report.leaf_deltas:
+                self._locator.apply_leaf_deltas(report.leaf_deltas)
         registry = get_registry()
         registry.counter("sync.incremental_folds").inc()
         registry.counter("sync.bytes_folded").inc(report.bytes_folded)
@@ -249,6 +274,40 @@ class Replica:
             self._tree_fanout = fanout
         return tree
 
+    def locator_map(self, d: int = DEFAULT_D, seed: int = 0,
+                    design: LocateDesign | None = None) -> LocatorMap:
+        """The replica's group-testing locator (kept warm like the tree).
+
+        Without an explicit ``design`` one is derived deterministically
+        from ``(d, seed)`` and the page count rounded up to a power of
+        two -- same-shape peers with the same parameters derive the
+        same design without exchanging it.  Passing ``design`` (e.g. the
+        one inside a peer's locator blob) pins the family instead;
+        :class:`~repro.errors.SignatureError` surfaces when this
+        replica outgrew it.
+        """
+        signature_map = self.signature_map()
+        page_count = len(signature_map.signatures)
+        if design is None:
+            cached = self._locator
+            if cached is not None and cached.design.d == d \
+                    and cached.design.seed == seed \
+                    and page_count <= max(1, cached.design.page_capacity):
+                design = cached.design
+            else:
+                capacity = 1 << max(0, (page_count - 1).bit_length()) \
+                    if page_count else 1
+                design = LocateDesign.build(capacity, d, seed)
+        cached = self._locator
+        if cached is not None and cached.design == design \
+                and cached.page_count == page_count \
+                and cached.total_symbols == signature_map.total_symbols:
+            return cached
+        locator = LocatorMap.from_map(design, signature_map)
+        if self._incremental is not None:
+            self._locator = locator
+        return locator
+
 
 @dataclass(frozen=True, slots=True)
 class SyncReport:
@@ -266,8 +325,17 @@ class SyncReport:
         return self.signature_bytes + self.data_bytes
 
 
-def _emit_report(protocol: str, report: SyncReport, compared: int) -> None:
-    """Land one reconciliation's accounting in the ``sync.*`` series."""
+def _emit_report(protocol: str, report: SyncReport, compared: int,
+                 localized: int | None = None,
+                 bytes_saved: int | None = None) -> None:
+    """Land one reconciliation's accounting in the ``sync.*`` series.
+
+    Protocols that *localize* divergence rather than compare every page
+    (tree probe, locator exchange) also record how many pages they
+    pinpointed and how many signature bytes they avoided exchanging
+    relative to a full map exchange, so the run report makes the
+    sub-linear protocols directly comparable.
+    """
     registry = get_registry()
     registry.counter("sync.syncs", protocol=protocol).inc()
     registry.counter("sync.pages_shipped", protocol=protocol).inc(
@@ -280,6 +348,14 @@ def _emit_report(protocol: str, report: SyncReport, compared: int) -> None:
         report.data_bytes
     )
     registry.counter("sync.nodes_compared", protocol=protocol).inc(compared)
+    if localized is not None:
+        registry.counter("sync.pages_localized", protocol=protocol).inc(
+            localized
+        )
+    if bytes_saved is not None:
+        registry.counter("sync.bytes_saved", protocol=protocol).inc(
+            bytes_saved
+        )
 
 
 def _check_peers(source: Replica, target: Replica) -> None:
@@ -386,7 +462,73 @@ def sync_by_tree(source: Replica, target: Replica, network: SimNetwork,
         data_bytes=data_bytes,
         rounds=rounds + 1,
     )
-    _emit_report("tree", report, compared=compared)
+    map_cost = 16 + sig_bytes_per * source_tree.leaf_count
+    _emit_report("tree", report, compared=compared,
+                 localized=len(changed),
+                 bytes_saved=max(0, map_cost - signature_bytes))
+    return report
+
+
+def sync_by_locator(source: Replica, target: Replica, network: SimNetwork,
+                    d: int = DEFAULT_D, seed: int = 0,
+                    fanout: int = 16) -> SyncReport:
+    """Make ``target`` identical to ``source`` via group-testing decode.
+
+    The source ships its :class:`~repro.sig.locate.LocatorMap` --
+    O(d^2 log^2 N) aggregate signatures, design parameters included --
+    and the target folds its own map under the *same* design and
+    decodes exactly which <= d pages diverged: one signature round trip
+    whose size does not grow with the volume.  When the divergence
+    exceeds the damage budget (or the lengths drifted, or the target
+    outgrew the design) the decode reports ``OVERFLOW`` and the
+    reconciliation falls back to :func:`sync_by_tree`, with the wasted
+    locator bytes accounted in the returned report -- never a silently
+    wrong page set.
+    """
+    _check_peers(source, target)
+    registry = get_registry()
+    source_locator = source.locator_map(d=d, seed=seed)
+    blob_bytes = len(source_locator.to_bytes())
+    network.send(source.name, target.name, LOCATOR_EXCHANGE, blob_bytes)
+    registry.counter("sync.locate.exchanges").inc()
+    registry.counter("sync.locate.groups").inc(source_locator.group_count)
+    try:
+        target_locator = target.locator_map(design=source_locator.design)
+        verdict = decode(source_locator, target_locator)
+    except SignatureError:
+        verdict = None
+    if verdict is None or verdict.overflowed:
+        registry.counter("sync.locate.fallbacks").inc()
+        fallback = sync_by_tree(source, target, network, fanout)
+        return SyncReport(
+            pages_total=fallback.pages_total,
+            pages_shipped=fallback.pages_shipped,
+            signature_bytes=fallback.signature_bytes + blob_bytes,
+            data_bytes=fallback.data_bytes,
+            rounds=fallback.rounds + 1,
+        )
+    changed = list(verdict.pages)
+    request_bytes = 4 + 4 * len(changed)
+    network.send(target.name, source.name, PAGE_REQUEST, request_bytes)
+    data_bytes = 0
+    for index in changed:
+        page = source.page(index)
+        network.send(source.name, target.name, PAGE_DATA, len(page) + 8)
+        target.write_page(index, page)
+        data_bytes += len(page)
+    _trim(target, source)
+    report = SyncReport(
+        pages_total=source_locator.page_count,
+        pages_shipped=len(changed),
+        signature_bytes=blob_bytes + request_bytes,
+        data_bytes=data_bytes,
+        rounds=2,
+    )
+    sig_bytes_per = source.scheme.scheme_id.signature_bytes
+    map_cost = 16 + sig_bytes_per * source_locator.page_count
+    _emit_report("locator", report, compared=verdict.groups_compared,
+                 localized=len(changed),
+                 bytes_saved=max(0, map_cost - report.signature_bytes))
     return report
 
 
